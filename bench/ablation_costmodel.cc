@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation — microarchitecture-model components: how speedup
+ * estimates change when the cache model or the branch/dispatch
+ * predictor model is disabled, and bimodal vs gshare prediction.
+ * Quantifies design decision 1 in DESIGN.md.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace rigor;
+
+namespace {
+
+harness::SpeedupResult
+speedupWith(const std::string &workload,
+            const uarch::PerfModelConfig &ucfg)
+{
+    harness::RunnerConfig base =
+        bench::defaultConfig(vm::Tier::Interp);
+    base.invocations = 4;
+    base.iterations = 15;
+    base.uarch = ucfg;
+    harness::RunnerConfig jit = base;
+    jit.tier = vm::Tier::Adaptive;
+    harness::RunResult interp =
+        harness::runExperiment(workload, base);
+    harness::RunResult opt = harness::runExperiment(workload, jit);
+    return harness::rigorousSpeedup(interp, opt);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation: cost model components",
+        "the tier ranking is stable across model ablations, but "
+        "absolute speedups shift when branch/dispatch modelling is "
+        "removed — interpreters lose their main penalty");
+
+    struct Variant
+    {
+        const char *name;
+        uarch::PerfModelConfig cfg;
+    };
+    std::vector<Variant> variants;
+    {
+        Variant full{"full model (gshare)", {}};
+        variants.push_back(full);
+
+        Variant bimodal{"bimodal predictor", {}};
+        bimodal.cfg.predictor =
+            uarch::PerfModelConfig::Predictor::Bimodal;
+        variants.push_back(bimodal);
+
+        Variant nocache{"no cache model", {}};
+        nocache.cfg.modelCaches = false;
+        variants.push_back(nocache);
+
+        Variant nobranch{"no branch model", {}};
+        nobranch.cfg.modelBranches = false;
+        variants.push_back(nobranch);
+
+        Variant costonly{"cost-model only", {}};
+        costonly.cfg.modelCaches = false;
+        costonly.cfg.modelBranches = false;
+        variants.push_back(costonly);
+    }
+
+    std::vector<std::string> headers = {"variant"};
+    for (const auto &name : bench::figureWorkloads())
+        headers.push_back(name);
+    Table table(std::move(headers));
+
+    for (const auto &v : variants) {
+        std::vector<std::string> row = {v.name};
+        for (const auto &name : bench::figureWorkloads()) {
+            auto s = speedupWith(name, v.cfg);
+            row.push_back(fmtDouble(s.ci.estimate, 2) + "x");
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

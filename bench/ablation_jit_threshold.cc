@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation — JIT hot-threshold sensitivity: lower thresholds compile
+ * earlier (shorter warmup, earlier compile-pause spike) but risk
+ * compiling cold code; higher thresholds delay or forgo steady-state
+ * speedups within a finite iteration budget. Quantifies design
+ * decision 3 in DESIGN.md (two-tier runtime, shared bytecode).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace rigor;
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation: JIT hot-threshold sensitivity",
+        "mean warmup iterations grow with the threshold; measured "
+        "steady-state speedup is stable once compilation happens at "
+        "all, and collapses to ~1x when the threshold exceeds the "
+        "work an invocation performs");
+
+    Table table({"threshold", "workload", "mean warmup iters",
+                 "speedup vs interp", "jit compiles/invocation"});
+
+    harness::RunnerConfig interp_cfg =
+        bench::defaultConfig(vm::Tier::Interp);
+    interp_cfg.iterations = 25;
+
+    for (const auto &name : bench::figureWorkloads()) {
+        harness::RunResult interp =
+            harness::runExperiment(name, interp_cfg);
+        for (int threshold :
+             {200, 2000, 20000, 200000, 20000000}) {
+            harness::RunnerConfig cfg =
+                bench::defaultConfig(vm::Tier::Adaptive);
+            cfg.iterations = 25;
+            cfg.jitThreshold = threshold;
+            harness::RunResult jit =
+                harness::runExperiment(name, cfg);
+            auto summary = harness::analyzeSteadyState(jit);
+            auto speedup = harness::rigorousSpeedup(interp, jit);
+            double compiles = 0.0;
+            for (const auto &inv : jit.invocations)
+                compiles += static_cast<double>(
+                    inv.vmStats.jitCompiles);
+            compiles /= static_cast<double>(jit.invocations.size());
+            table.addRow({
+                std::to_string(threshold),
+                name,
+                fmtDouble(summary.meanSteadyStart, 1),
+                fmtDouble(speedup.ci.estimate, 2) + "x",
+                fmtDouble(compiles, 1),
+            });
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 1 — per-iteration run-time traces: the adaptive tier shows a
+ * slow first iteration plus compile-time spikes before settling; the
+ * interpreter tier is flat apart from measurement noise.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+using namespace rigor;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 1: per-iteration run-time traces (first invocation)",
+        "JIT warmup curves start high and settle after compilation; "
+        "the interpreter is flat from iteration 0");
+
+    for (const auto &name : bench::figureWorkloads()) {
+        for (vm::Tier tier :
+             {vm::Tier::Interp, vm::Tier::Adaptive}) {
+            harness::RunnerConfig cfg = bench::defaultConfig(tier);
+            cfg.invocations = 1;
+            cfg.iterations = 40;
+            harness::RunResult run =
+                harness::runExperiment(name, cfg);
+            auto times = run.invocations[0].times();
+            std::printf("%s / %s  (ms per iteration)\n",
+                        name.c_str(), vm::tierName(tier));
+            std::printf("%s\n",
+                        harness::asciiSeries(times, 7, 70).c_str());
+        }
+    }
+
+    std::printf("CSV series for external plotting:\n\n");
+    for (const auto &name : bench::figureWorkloads()) {
+        harness::RunnerConfig cfg =
+            bench::defaultConfig(vm::Tier::Adaptive);
+        cfg.invocations = 2;
+        cfg.iterations = 40;
+        harness::RunResult run = harness::runExperiment(name, cfg);
+        harness::writeSeriesCsv(std::cout, run);
+    }
+    return 0;
+}

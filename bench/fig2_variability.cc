@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 2 — variance decomposition per benchmark: between-invocation
+ * vs within-invocation coefficient of variation over steady-state
+ * iterations, and the intraclass correlation. High ICC is exactly the
+ * condition under which pooled analyses are invalid.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace rigor;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 2: variance decomposition (steady state)",
+        "between-invocation variance dominates within-invocation "
+        "variance, so iterations within one invocation must not be "
+        "treated as independent samples");
+
+    Table table({"benchmark", "tier", "between CoV %", "within CoV %",
+                 "intraclass corr"});
+    for (const auto &spec : workloads::suite()) {
+        for (vm::Tier tier :
+             {vm::Tier::Interp, vm::Tier::Adaptive}) {
+            harness::RunResult run =
+                bench::runTier(spec.name, tier);
+            auto vc = harness::varianceDecomposition(run);
+            table.addRow({
+                spec.name,
+                vm::tierName(tier),
+                fmtDouble(100.0 * vc.betweenCoV, 2),
+                fmtDouble(100.0 * vc.withinCoV, 2),
+                fmtDouble(vc.intraclassCorrelation(), 2),
+            });
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 4 — dynamic bytecode mix per benchmark (interpreter tier):
+ * the fraction of executed bytecodes per operation group. OO
+ * workloads are attr/call heavy, numeric workloads arith/branch
+ * heavy, data workloads subscript/global heavy.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace rigor;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 4: dynamic instruction (bytecode) mix",
+        "instruction mix varies strongly with workload category, "
+        "motivating a suite that covers all of them");
+
+    std::vector<std::string> headers = {"benchmark"};
+    for (const auto &g : bench::mixGroups())
+        headers.push_back(g + " %");
+    Table table(std::move(headers));
+
+    for (const auto &spec : workloads::suite()) {
+        harness::RunnerConfig cfg =
+            bench::defaultConfig(vm::Tier::Interp);
+        cfg.invocations = 1;
+        cfg.iterations = 4;
+        harness::RunResult run = harness::runExperiment(spec, cfg);
+        auto fractions = bench::mixFractions(run.opMix());
+        std::vector<std::string> row = {spec.name};
+        for (double f : fractions)
+            row.push_back(fmtDouble(100.0 * f, 1));
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

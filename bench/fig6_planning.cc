@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 6 — experiment planning: how the 95% CI half-width of the
+ * rigorous estimator shrinks with the number of VM invocations, and
+ * the invocation budget needed to reach 1%/2%/5% relative precision.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace rigor;
+
+namespace {
+
+/** Rigorous CI using only the first `n` invocations. */
+stats::ConfidenceInterval
+ciWithInvocations(const harness::RunResult &full, size_t n)
+{
+    harness::RunResult subset;
+    subset.workload = full.workload;
+    subset.tier = full.tier;
+    subset.size = full.size;
+    subset.invocations.assign(full.invocations.begin(),
+                              full.invocations.begin() +
+                                  static_cast<ptrdiff_t>(n));
+    return harness::rigorousEstimate(subset).ci;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 6: CI half-width vs number of VM invocations",
+        "precision improves roughly as 1/sqrt(invocations); a 1% "
+        "relative half-width needs an order of magnitude more "
+        "invocations than 5%");
+
+    const std::vector<size_t> budgets = {2, 3, 4, 6, 8, 12, 16, 24};
+
+    for (const auto &name : bench::figureWorkloads()) {
+        harness::RunnerConfig cfg =
+            bench::defaultConfig(vm::Tier::Interp);
+        cfg.invocations = 24;
+        cfg.iterations = 15;
+        harness::RunResult run = harness::runExperiment(name, cfg);
+
+        std::printf("%s: relative 95%% CI half-width by invocation "
+                    "budget\n",
+                    name.c_str());
+        Table table({"invocations", "rel half-width %"});
+        std::vector<double> widths;
+        for (size_t n : budgets) {
+            auto ci = ciWithInvocations(run, n);
+            double rel = 100.0 * ci.relativeHalfWidth();
+            widths.push_back(rel);
+            table.addRow(
+                {std::to_string(n), fmtDouble(rel, 3)});
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("  trend: %s\n\n",
+                    harness::sparkline(widths, 32).c_str());
+
+        // Required invocations for common precision targets, from
+        // the 24-invocation pilot.
+        auto est = harness::rigorousEstimate(run);
+        std::printf("  required invocations (normal approx): ");
+        for (double target : {0.05, 0.02, 0.01}) {
+            size_t need = stats::requiredSampleSize(
+                est.invocationMeans, target);
+            std::printf("%.0f%% -> %zu   ", 100.0 * target, need);
+        }
+        std::printf("\n\n");
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 7 — measurement-budget allocation: with a fixed total budget
+ * of (invocations x iterations) measurements, how should it be split?
+ * Because between-invocation variance dominates, many invocations
+ * with few iterations each yield tighter *valid* intervals than few
+ * invocations with many iterations.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace rigor;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 7: CI half-width under a fixed measurement budget",
+        "for a fixed budget of total iterations, splitting it into "
+        "more invocations always beats more iterations per "
+        "invocation once invocation-level variance exists");
+
+    const int budget = 96;  // total iterations to spend
+    struct Split
+    {
+        int invocations;
+        int iterations;
+    };
+    const std::vector<Split> splits = {
+        {3, 32}, {4, 24}, {6, 16}, {8, 12}, {12, 8}, {16, 6},
+        {24, 4}, {32, 3},
+    };
+
+    for (const auto &name : {std::string("sieve"),
+                             std::string("richards")}) {
+        std::printf("%s (budget = %d total iterations):\n",
+                    name.c_str(), budget);
+        Table table({"invocations x iterations",
+                     "rel 95% CI half-width %",
+                     "estimate (ms)"});
+        for (const auto &split : splits) {
+            harness::RunnerConfig cfg =
+                bench::defaultConfig(vm::Tier::Interp);
+            cfg.invocations = split.invocations;
+            cfg.iterations = split.iterations;
+            harness::RunResult run =
+                harness::runExperiment(name, cfg);
+            auto est = harness::rigorousEstimate(run);
+            table.addRow({
+                std::to_string(split.invocations) + " x " +
+                    std::to_string(split.iterations),
+                fmtDouble(100.0 * est.ci.relativeHalfWidth(), 3),
+                fmtDouble(est.ci.estimate, 4),
+            });
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    return 0;
+}

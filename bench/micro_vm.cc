@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of framework primitives: VM
+ * dispatch rate on both tiers, dict operations, compile time, the
+ * statistics kernels, and the cache/branch models. These guard
+ * against performance regressions in the framework itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "stats/ci.hh"
+#include "stats/descriptive.hh"
+#include "stats/steady_state.hh"
+#include "support/rng.hh"
+#include "uarch/branch.hh"
+#include "uarch/cache.hh"
+#include "vm/compiler.hh"
+#include "vm/interp.hh"
+
+using namespace rigor;
+
+namespace {
+
+const char *kLoopSource =
+    "def run(n):\n"
+    "    total = 0\n"
+    "    i = 0\n"
+    "    while i < n:\n"
+    "        total += i * 3 % 7\n"
+    "        i += 1\n"
+    "    return total\n";
+
+void
+BM_InterpLoop(benchmark::State &state)
+{
+    vm::Program prog = vm::compileSource(kLoopSource);
+    vm::InterpConfig cfg;
+    cfg.tier = vm::Tier::Interp;
+    vm::Interp interp(prog, cfg);
+    interp.runModule();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(interp.callGlobal(
+            "run", {vm::Value::makeInt(state.range(0))}));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InterpLoop)->Arg(1000)->Arg(10000);
+
+void
+BM_AdaptiveLoop(benchmark::State &state)
+{
+    vm::Program prog = vm::compileSource(kLoopSource);
+    vm::InterpConfig cfg;
+    cfg.tier = vm::Tier::Adaptive;
+    cfg.jitThreshold = 100;
+    vm::Interp interp(prog, cfg);
+    interp.runModule();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(interp.callGlobal(
+            "run", {vm::Value::makeInt(state.range(0))}));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AdaptiveLoop)->Arg(1000)->Arg(10000);
+
+void
+BM_Compile(benchmark::State &state)
+{
+    std::string source;
+    for (int i = 0; i < state.range(0); ++i) {
+        source += "def f" + std::to_string(i) + "(x):\n"
+                  "    return x * " + std::to_string(i) + " + 1\n";
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(vm::compileSource(source));
+}
+BENCHMARK(BM_Compile)->Arg(10)->Arg(100);
+
+void
+BM_DictSetGet(benchmark::State &state)
+{
+    vm::Program prog = vm::compileSource(
+        "def run(n):\n"
+        "    d = {}\n"
+        "    i = 0\n"
+        "    while i < n:\n"
+        "        d[i] = i\n"
+        "        i += 1\n"
+        "    return len(d)\n");
+    vm::Interp interp(prog, {});
+    interp.runModule();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(interp.callGlobal(
+            "run", {vm::Value::makeInt(state.range(0))}));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DictSetGet)->Arg(1000);
+
+void
+BM_TInterval(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<double> xs;
+    for (int i = 0; i < state.range(0); ++i)
+        xs.push_back(rng.nextGaussian(10.0, 1.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::tInterval(xs));
+}
+BENCHMARK(BM_TInterval)->Arg(30)->Arg(1000);
+
+void
+BM_Bootstrap(benchmark::State &state)
+{
+    Rng rng(2);
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i)
+        xs.push_back(rng.nextGaussian(10.0, 1.0));
+    Rng boot(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::bootstrapInterval(
+            xs,
+            [](const std::vector<double> &v) {
+                return stats::median(v);
+            },
+            boot, 0.95, static_cast<int>(state.range(0))));
+    }
+}
+BENCHMARK(BM_Bootstrap)->Arg(200)->Arg(1000);
+
+void
+BM_SteadyStateDetect(benchmark::State &state)
+{
+    Rng rng(4);
+    std::vector<double> xs;
+    for (int i = 0; i < state.range(0); ++i)
+        xs.push_back(rng.nextGaussian(i < 20 ? 20.0 : 10.0, 0.3));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::detectSteadyState(xs));
+}
+BENCHMARK(BM_SteadyStateDetect)->Arg(100)->Arg(1000);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    auto h = uarch::CacheHierarchy::makeDefault();
+    Rng rng(5);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        addr = rng.nextBounded(1 << 22);
+        benchmark::DoNotOptimize(h.access(addr));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_GsharePredict(benchmark::State &state)
+{
+    uarch::GsharePredictor g;
+    Rng rng(6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            g.predictAndUpdate(rng.nextBounded(256),
+                               rng.nextBernoulli(0.7)));
+    }
+}
+BENCHMARK(BM_GsharePredict);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table 2 — steady-state detection per benchmark and tier: series
+ * classification counts, mean/max warmup iterations and the warmup
+ * overhead (how much slower warmup iterations are than steady state).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "stats/descriptive.hh"
+
+using namespace rigor;
+
+namespace {
+
+/** Mean time of the pre-steady iterations over the steady mean. */
+double
+warmupOverhead(const harness::RunResult &run,
+               const harness::SteadyStateSummary &summary)
+{
+    double warm_sum = 0.0, steady_sum = 0.0;
+    size_t warm_n = 0, steady_n = 0;
+    for (size_t i = 0; i < run.invocations.size(); ++i) {
+        const auto &ss = summary.perInvocation[i];
+        auto times = run.invocations[i].times();
+        if (!ss.hasSteadyState())
+            continue;
+        for (size_t j = 0; j < times.size(); ++j) {
+            if (j < ss.steadyStart) {
+                warm_sum += times[j];
+                ++warm_n;
+            } else {
+                steady_sum += times[j];
+                ++steady_n;
+            }
+        }
+    }
+    if (!warm_n || !steady_n)
+        return 1.0;
+    return (warm_sum / static_cast<double>(warm_n)) /
+        (steady_sum / static_cast<double>(steady_n));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 2: per-benchmark steady-state detection",
+        "the interpreter tier is flat from iteration 0 while the "
+        "adaptive (JIT) tier needs several warmup iterations; a "
+        "fixed warmup cutoff would be wrong in both directions");
+
+    Table table({"benchmark", "tier", "flat", "warmup", "slow",
+                 "none", "mean warmup iters", "warmup overhead"});
+
+    for (const auto &spec : workloads::suite()) {
+        for (vm::Tier tier :
+             {vm::Tier::Interp, vm::Tier::Adaptive}) {
+            harness::RunResult run =
+                bench::runTier(spec.name, tier);
+            auto summary = harness::analyzeSteadyState(run);
+            table.addRow({
+                spec.name,
+                vm::tierName(tier),
+                std::to_string(summary.flat),
+                std::to_string(summary.warmup),
+                std::to_string(summary.slowdown),
+                std::to_string(summary.noSteadyState),
+                fmtDouble(summary.meanSteadyStart, 1),
+                fmtDouble(warmupOverhead(run, summary), 2) + "x",
+            });
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

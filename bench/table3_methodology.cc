@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 3 — methodology comparison: the adaptive-over-interpreter
+ * speedup each methodology reports per benchmark, the error relative
+ * to the rigorous estimate, and the number of benchmarks on which a
+ * naive methodology reaches a *different conclusion* (flips which
+ * tier wins, or misses/mints significance).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.hh"
+
+using namespace rigor;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 3: speedup under rigorous vs naive methodologies",
+        "naive single-run / first-iteration / best-of schemes "
+        "misestimate speedups by large factors and flip conclusions "
+        "on several benchmarks");
+
+    std::vector<std::string> headers = {"benchmark"};
+    for (auto m : harness::allMethodologies())
+        headers.push_back(harness::methodologyName(m));
+    Table table(std::move(headers));
+
+    std::map<harness::Methodology, double> max_rel_err;
+    std::map<harness::Methodology, int> flips;
+    std::vector<harness::SpeedupResult> rigorous_speedups;
+
+    for (const auto &spec : workloads::suite()) {
+        harness::RunResult interp =
+            bench::runTier(spec.name, vm::Tier::Interp);
+        harness::RunResult jit =
+            bench::runTier(spec.name, vm::Tier::Adaptive);
+
+        auto rigorous = harness::rigorousSpeedup(interp, jit);
+        rigorous_speedups.push_back(rigorous);
+
+        std::vector<std::string> row = {spec.name};
+        for (auto m : harness::allMethodologies()) {
+            double s;
+            if (m == harness::Methodology::RigorousMeanOfMeans) {
+                s = rigorous.ci.estimate;
+                row.push_back(harness::formatCi(rigorous.ci, 2));
+            } else {
+                s = harness::naiveSpeedup(interp, jit, m);
+                row.push_back(fmtDouble(s, 2));
+                double rel =
+                    std::fabs(s / rigorous.ci.estimate - 1.0);
+                max_rel_err[m] = std::max(max_rel_err[m], rel);
+                bool naive_says_faster = s > 1.0;
+                bool rigorous_says_faster =
+                    rigorous.significant &&
+                    rigorous.ci.estimate > 1.0;
+                if (naive_says_faster != rigorous_says_faster)
+                    ++flips[m];
+            }
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    auto geo = harness::geomeanSpeedup(rigorous_speedups);
+    std::printf("suite geomean speedup (rigorous): %s\n\n",
+                harness::formatCi(geo, 2).c_str());
+
+    Table errs({"methodology", "max |rel err| vs rigorous",
+                "conclusion flips (of " +
+                std::to_string(workloads::suite().size()) + ")"});
+    for (auto m : harness::allMethodologies()) {
+        if (m == harness::Methodology::RigorousMeanOfMeans)
+            continue;
+        errs.addRow({harness::methodologyName(m),
+                     fmtDouble(100.0 * max_rel_err[m], 1) + "%",
+                     std::to_string(flips[m])});
+    }
+    std::printf("%s\n", errs.render().c_str());
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Monte-Carlo demonstration of why the hierarchy matters: with
+ * realistic between-invocation bias injected by the noise model, the
+ * naive pooled 95% interval covers the true mean far less than 95% of
+ * the time, while the mean-of-means interval stays calibrated.
+ *
+ *   ./build/examples/methodology_pitfalls
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "harness/noise.hh"
+#include "stats/hierarchy.hh"
+#include "support/rng.hh"
+#include "support/str.hh"
+#include "support/table.hh"
+
+using namespace rigor;
+
+namespace {
+
+/**
+ * Simulate one experiment: `invocations` x `iterations` measurements
+ * of a workload whose true time is `true_ms`, using the harness noise
+ * model.
+ */
+std::vector<std::vector<double>>
+simulate(double true_ms, int invocations, int iterations,
+         const harness::NoiseConfig &noise_cfg, Rng &rng)
+{
+    std::vector<std::vector<double>> samples;
+    for (int inv = 0; inv < invocations; ++inv) {
+        harness::NoiseModel noise(noise_cfg, rng.nextU64());
+        std::vector<double> iters;
+        for (int it = 0; it < iterations; ++it)
+            iters.push_back(true_ms * noise.nextIterationFactor());
+        samples.push_back(std::move(iters));
+    }
+    return samples;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double true_ms = 10.0;
+    const int trials = 400;
+
+    std::printf("== CI coverage under invocation-level bias ==\n\n");
+    std::printf("true mean 10 ms; noise: between-invocation sigma "
+                "2%%, within 0.5%%\n");
+    std::printf("nominal confidence 95%%; %d simulated experiments "
+                "per design\n\n",
+                trials);
+
+    harness::NoiseConfig noise_cfg;
+    noise_cfg.betweenSigma = 0.02;
+    noise_cfg.withinSigma = 0.005;
+    noise_cfg.spikeProbability = 0.0;
+
+    Table table({"design (inv x iter)", "mean-of-means coverage %",
+                 "pooled coverage %", "pooled width / rigorous"});
+
+    for (auto [invs, iters] : {std::pair{3, 40}, std::pair{5, 24},
+                               std::pair{10, 12}, std::pair{20, 6}}) {
+        Rng rng(0x5eedULL + static_cast<uint64_t>(invs));
+        int mom_cover = 0, pooled_cover = 0;
+        double width_ratio_sum = 0.0;
+        // The *expected* measured mean includes the lognormal bias
+        // mean exp(sigma^2/2), which both estimators target.
+        double target = true_ms *
+            std::exp(0.5 * noise_cfg.betweenSigma *
+                     noise_cfg.betweenSigma) *
+            std::exp(0.5 * noise_cfg.withinSigma *
+                     noise_cfg.withinSigma);
+        for (int t = 0; t < trials; ++t) {
+            auto samples =
+                simulate(true_ms, invs, iters, noise_cfg, rng);
+            auto mom = stats::meanOfMeansInterval(samples);
+            auto pooled = stats::naivePooledInterval(samples);
+            if (mom.contains(target))
+                ++mom_cover;
+            if (pooled.contains(target))
+                ++pooled_cover;
+            if (mom.halfWidth() > 0.0)
+                width_ratio_sum +=
+                    pooled.halfWidth() / mom.halfWidth();
+        }
+        table.addRow({
+            std::to_string(invs) + " x " + std::to_string(iters),
+            fmtDouble(100.0 * mom_cover / trials, 1),
+            fmtDouble(100.0 * pooled_cover / trials, 1),
+            fmtDouble(width_ratio_sum / trials, 2),
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf(
+        "The pooled interval treats correlated iterations as\n"
+        "independent: it is several times too narrow and covers the\n"
+        "truth far below the nominal 95%%. The mean-of-means interval\n"
+        "stays calibrated at every design point. More invocations\n"
+        "with fewer iterations each beats the reverse.\n");
+    return 0;
+}

@@ -1,0 +1,276 @@
+#include "harness/analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hh"
+#include "support/logging.hh"
+
+namespace rigor {
+namespace harness {
+
+double
+SteadyStateSummary::steadyFraction() const
+{
+    size_t total = perInvocation.size();
+    return total ? static_cast<double>(total -
+                                       static_cast<size_t>(
+                                           noSteadyState)) /
+            static_cast<double>(total)
+                 : 0.0;
+}
+
+SteadyStateSummary
+analyzeSteadyState(const RunResult &run,
+                   const stats::SteadyStateOptions &opts)
+{
+    SteadyStateSummary summary;
+    double start_sum = 0.0;
+    int with_steady = 0;
+    for (const auto &inv : run.invocations) {
+        auto res = stats::detectSteadyState(inv.times(), opts);
+        switch (res.classification) {
+          case stats::SeriesClass::Flat: ++summary.flat; break;
+          case stats::SeriesClass::Warmup: ++summary.warmup; break;
+          case stats::SeriesClass::Slowdown:
+            ++summary.slowdown;
+            break;
+          case stats::SeriesClass::NoSteadyState:
+            ++summary.noSteadyState;
+            break;
+        }
+        if (res.hasSteadyState()) {
+            start_sum += static_cast<double>(res.steadyStart);
+            summary.maxSteadyStart =
+                std::max(summary.maxSteadyStart, res.steadyStart);
+            ++with_steady;
+        }
+        summary.perInvocation.push_back(std::move(res));
+    }
+    if (with_steady)
+        summary.meanSteadyStart = start_sum / with_steady;
+    return summary;
+}
+
+const char *
+methodologyName(Methodology m)
+{
+    switch (m) {
+      case Methodology::RigorousMeanOfMeans:
+        return "rigorous";
+      case Methodology::NaiveFirstIteration:
+        return "naive-first-iter";
+      case Methodology::NaiveSingleInvocationMean:
+        return "naive-one-invocation";
+      case Methodology::NaiveBestOfAll:
+        return "naive-best";
+      case Methodology::NaiveLastIteration:
+        return "naive-last-iter";
+      case Methodology::NaivePooled:
+        return "naive-pooled";
+    }
+    return "?";
+}
+
+const std::vector<Methodology> &
+allMethodologies()
+{
+    static const std::vector<Methodology> all = {
+        Methodology::RigorousMeanOfMeans,
+        Methodology::NaiveFirstIteration,
+        Methodology::NaiveSingleInvocationMean,
+        Methodology::NaiveBestOfAll,
+        Methodology::NaiveLastIteration,
+        Methodology::NaivePooled,
+    };
+    return all;
+}
+
+RigorousEstimate
+rigorousEstimate(const RunResult &run, double confidence)
+{
+    if (run.invocations.empty())
+        panic("rigorousEstimate: empty run");
+
+    RigorousEstimate out;
+    out.steadyState = analyzeSteadyState(run);
+    for (size_t i = 0; i < run.invocations.size(); ++i) {
+        const auto &inv = run.invocations[i];
+        const auto &ss = out.steadyState.perInvocation[i];
+        std::vector<double> times = inv.times();
+        if (ss.hasSteadyState() && ss.steadyStart < times.size()) {
+            std::vector<double> steady(
+                times.begin() +
+                    static_cast<ptrdiff_t>(ss.steadyStart),
+                times.end());
+            out.invocationMeans.push_back(stats::mean(steady));
+        } else {
+            // No steady state: fall back to the full series, counted
+            // in the summary so reports can flag it.
+            out.invocationMeans.push_back(stats::mean(times));
+        }
+    }
+    out.ci = stats::tInterval(out.invocationMeans, confidence);
+    return out;
+}
+
+double
+pointEstimate(const RunResult &run, Methodology m)
+{
+    if (run.invocations.empty())
+        panic("pointEstimate: empty run");
+    const auto &first_inv = run.invocations.front();
+    switch (m) {
+      case Methodology::RigorousMeanOfMeans:
+        return rigorousEstimate(run).ci.estimate;
+      case Methodology::NaiveFirstIteration:
+        return first_inv.samples.front().timeMs;
+      case Methodology::NaiveSingleInvocationMean:
+        return stats::mean(first_inv.times());
+      case Methodology::NaiveBestOfAll: {
+        double best = first_inv.samples.front().timeMs;
+        for (const auto &inv : run.invocations)
+            for (const auto &s : inv.samples)
+                best = std::min(best, s.timeMs);
+        return best;
+      }
+      case Methodology::NaiveLastIteration:
+        return first_inv.samples.back().timeMs;
+      case Methodology::NaivePooled:
+        return stats::mean(stats::flatten(run.series()));
+    }
+    panic("pointEstimate: bad methodology");
+}
+
+stats::ConfidenceInterval
+intervalEstimate(const RunResult &run, Methodology m, double confidence)
+{
+    switch (m) {
+      case Methodology::RigorousMeanOfMeans:
+        return rigorousEstimate(run, confidence).ci;
+      case Methodology::NaivePooled:
+        return stats::naivePooledInterval(run.series(), confidence);
+      default: {
+        // Single-number methodologies have no interval at all.
+        stats::ConfidenceInterval ci;
+        ci.confidence = confidence;
+        ci.estimate = pointEstimate(run, m);
+        ci.lower = ci.upper = ci.estimate;
+        return ci;
+      }
+    }
+}
+
+SpeedupResult
+rigorousSpeedup(const RunResult &baseline, const RunResult &optimized,
+                double confidence)
+{
+    RigorousEstimate base = rigorousEstimate(baseline, confidence);
+    RigorousEstimate opt = rigorousEstimate(optimized, confidence);
+    SpeedupResult out;
+    out.ci = stats::ratioOfMeansInterval(base.invocationMeans,
+                                         opt.invocationMeans,
+                                         confidence);
+    out.significant = !out.ci.contains(1.0);
+    return out;
+}
+
+double
+naiveSpeedup(const RunResult &baseline, const RunResult &optimized,
+             Methodology m)
+{
+    double b = pointEstimate(baseline, m);
+    double o = pointEstimate(optimized, m);
+    if (o <= 0.0)
+        panic("naiveSpeedup: non-positive optimized estimate");
+    return b / o;
+}
+
+stats::ConfidenceInterval
+geomeanSpeedup(const std::vector<SpeedupResult> &speedups,
+               double confidence)
+{
+    std::vector<double> points;
+    points.reserve(speedups.size());
+    for (const auto &s : speedups)
+        points.push_back(s.ci.estimate);
+    return stats::geomeanInterval(points, confidence);
+}
+
+PairwiseComparison
+compareRuntimes(const std::vector<const RunResult *> &runs,
+                double confidence)
+{
+    size_t n = runs.size();
+    if (n < 2)
+        panic("compareRuntimes: need at least 2 runtimes");
+
+    std::vector<RigorousEstimate> estimates;
+    estimates.reserve(n);
+    for (const RunResult *run : runs)
+        estimates.push_back(rigorousEstimate(*run, confidence));
+
+    PairwiseComparison out;
+    out.speedup.assign(n, std::vector<SpeedupResult>(n));
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            if (i == j) {
+                SpeedupResult self;
+                self.ci = {1.0, 1.0, 1.0, confidence};
+                self.significant = false;
+                out.speedup[i][j] = self;
+                continue;
+            }
+            SpeedupResult s;
+            s.ci = stats::ratioOfMeansInterval(
+                estimates[i].invocationMeans,
+                estimates[j].invocationMeans, confidence);
+            s.significant = !s.ci.contains(1.0);
+            out.speedup[i][j] = s;
+        }
+    }
+
+    // Tie-aware ranking: sort by point estimate (ascending time is
+    // better); a runtime shares the previous rank when its pairwise
+    // comparison with the previous runtime is not significant.
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return estimates[a].ci.estimate < estimates[b].ci.estimate;
+    });
+    out.rank.assign(n, 0);
+    int current_rank = 1;
+    for (size_t pos = 0; pos < n; ++pos) {
+        if (pos > 0 &&
+            out.speedup[order[pos - 1]][order[pos]].significant)
+            current_rank = static_cast<int>(pos) + 1;
+        out.rank[order[pos]] = current_rank;
+    }
+    return out;
+}
+
+stats::VarianceComponents
+varianceDecomposition(const RunResult &run)
+{
+    auto est = rigorousEstimate(run);
+    std::vector<std::vector<double>> steady_series;
+    for (size_t i = 0; i < run.invocations.size(); ++i) {
+        const auto &ss = est.steadyState.perInvocation[i];
+        std::vector<double> times = run.invocations[i].times();
+        size_t start =
+            ss.hasSteadyState() && ss.steadyStart < times.size()
+                ? ss.steadyStart
+                : 0;
+        std::vector<double> steady(
+            times.begin() + static_cast<ptrdiff_t>(start),
+            times.end());
+        if (steady.size() < 2)
+            steady = times;
+        steady_series.push_back(std::move(steady));
+    }
+    return stats::decomposeVariance(steady_series);
+}
+
+} // namespace harness
+} // namespace rigor

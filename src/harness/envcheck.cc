@@ -1,0 +1,193 @@
+#include "harness/envcheck.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "support/str.hh"
+
+namespace rigor {
+namespace harness {
+
+int
+EnvReport::warningCount() const
+{
+    int n = 0;
+    for (const auto &f : findings)
+        if (f.severity == EnvSeverity::Warning)
+            ++n;
+    return n;
+}
+
+std::string
+EnvReport::render() const
+{
+    std::string out;
+    for (const auto &f : findings) {
+        const char *tag = f.severity == EnvSeverity::Warning
+            ? "WARN"
+            : (f.severity == EnvSeverity::Info ? "ok  " : "n/a ");
+        out += std::string(tag) + "  " + padRight(f.check, 16) +
+            f.detail + "\n";
+    }
+    return out;
+}
+
+EnvFinding
+checkGovernor(const std::string &contents)
+{
+    EnvFinding f;
+    f.check = "cpu-governor";
+    std::string governor = trim(contents);
+    if (governor.empty()) {
+        f.severity = EnvSeverity::Unknown;
+        f.detail = "governor not readable";
+        return f;
+    }
+    if (governor == "performance") {
+        f.severity = EnvSeverity::Info;
+        f.detail = "governor is 'performance'";
+    } else {
+        f.severity = EnvSeverity::Warning;
+        f.detail = "governor is '" + governor +
+            "'; frequency scaling will add between-run variance";
+    }
+    return f;
+}
+
+EnvFinding
+checkLoadAverage(const std::string &contents, int cpu_count)
+{
+    EnvFinding f;
+    f.check = "load-average";
+    std::istringstream is(contents);
+    double load1 = -1.0;
+    is >> load1;
+    if (!is || load1 < 0.0) {
+        f.severity = EnvSeverity::Unknown;
+        f.detail = "loadavg not readable";
+        return f;
+    }
+    double per_cpu = cpu_count > 0
+        ? load1 / static_cast<double>(cpu_count)
+        : load1;
+    if (per_cpu > 0.5) {
+        f.severity = EnvSeverity::Warning;
+        f.detail = "1-min load " + fmtDouble(load1, 2) + " on " +
+            std::to_string(cpu_count) +
+            " CPUs; co-located work will perturb timings";
+    } else {
+        f.severity = EnvSeverity::Info;
+        f.detail = "1-min load " + fmtDouble(load1, 2) + " on " +
+            std::to_string(cpu_count) + " CPUs";
+    }
+    return f;
+}
+
+EnvFinding
+checkAslr(const std::string &contents)
+{
+    EnvFinding f;
+    f.check = "aslr";
+    std::string v = trim(contents);
+    if (v.empty()) {
+        f.severity = EnvSeverity::Unknown;
+        f.detail = "randomize_va_space not readable";
+        return f;
+    }
+    if (v == "0") {
+        f.severity = EnvSeverity::Info;
+        f.detail = "ASLR disabled (deterministic layout; remember "
+                   "the layout itself is then a fixed bias)";
+    } else {
+        // ASLR on is *fine* for the methodology — it is exactly why
+        // multiple VM invocations are needed — but worth surfacing.
+        f.severity = EnvSeverity::Info;
+        f.detail = "ASLR enabled (mode " + v +
+            "); address layout varies per invocation — use multiple "
+            "invocations";
+    }
+    return f;
+}
+
+EnvFinding
+checkSmt(const std::string &contents)
+{
+    EnvFinding f;
+    f.check = "smt";
+    std::string v = trim(contents);
+    if (v.empty()) {
+        f.severity = EnvSeverity::Unknown;
+        f.detail = "SMT control not readable";
+        return f;
+    }
+    if (v == "off" || v == "forceoff" || v == "notsupported") {
+        f.severity = EnvSeverity::Info;
+        f.detail = "SMT is off";
+    } else {
+        f.severity = EnvSeverity::Warning;
+        f.detail = "SMT is '" + v +
+            "'; sibling-thread interference can distort counters";
+    }
+    return f;
+}
+
+EnvFinding
+checkTurbo(const std::string &contents)
+{
+    EnvFinding f;
+    f.check = "turbo";
+    std::string v = trim(contents);
+    if (v.empty()) {
+        f.severity = EnvSeverity::Unknown;
+        f.detail = "turbo state not readable";
+        return f;
+    }
+    if (v == "1") {
+        f.severity = EnvSeverity::Info;
+        f.detail = "turbo disabled (no_turbo=1)";
+    } else {
+        f.severity = EnvSeverity::Warning;
+        f.detail = "turbo enabled; opportunistic frequency boosts add "
+                   "thermal-state-dependent variance";
+    }
+    return f;
+}
+
+namespace {
+
+std::string
+readFileOrEmpty(const char *path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return "";
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+EnvReport
+collectEnvironment()
+{
+    EnvReport report;
+    int cpus = static_cast<int>(std::thread::hardware_concurrency());
+
+    report.findings.push_back(checkGovernor(readFileOrEmpty(
+        "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")));
+    report.findings.push_back(
+        checkLoadAverage(readFileOrEmpty("/proc/loadavg"), cpus));
+    report.findings.push_back(checkAslr(
+        readFileOrEmpty("/proc/sys/kernel/randomize_va_space")));
+    report.findings.push_back(checkSmt(
+        readFileOrEmpty("/sys/devices/system/cpu/smt/control")));
+    report.findings.push_back(checkTurbo(readFileOrEmpty(
+        "/sys/devices/system/cpu/intel_pstate/no_turbo")));
+    return report;
+}
+
+} // namespace harness
+} // namespace rigor

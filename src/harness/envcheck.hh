@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Benchmarking-environment sanity checks (Krun-style).
+ *
+ * Real rigorous-benchmarking practice inspects the host before
+ * measuring: CPU frequency scaling, SMT, load average, ASLR, turbo.
+ * This module reads the usual Linux interfaces and reports findings.
+ * The parsing functions take the file *contents* as arguments so unit
+ * tests can exercise every code path without root or specific
+ * hardware; collect() wires them to the real /proc and /sys paths and
+ * degrades gracefully when files are absent (containers).
+ */
+
+#ifndef RIGOR_HARNESS_ENVCHECK_HH
+#define RIGOR_HARNESS_ENVCHECK_HH
+
+#include <string>
+#include <vector>
+
+namespace rigor {
+namespace harness {
+
+/** Severity of one environment finding. */
+enum class EnvSeverity
+{
+    Info,     ///< good / neutral condition
+    Warning,  ///< may perturb measurements
+    Unknown,  ///< interface not readable (e.g. container)
+};
+
+/** One environment finding. */
+struct EnvFinding
+{
+    std::string check;    ///< e.g. "cpu-governor"
+    EnvSeverity severity = EnvSeverity::Unknown;
+    std::string detail;   ///< human-readable explanation
+};
+
+/** A full environment report. */
+struct EnvReport
+{
+    std::vector<EnvFinding> findings;
+
+    /** Number of findings at Warning severity. */
+    int warningCount() const;
+    /** Render as a short multi-line string. */
+    std::string render() const;
+};
+
+// --- Testable parsers (pure functions of file contents) -----------------
+
+/** Evaluate a scaling_governor value ("performance" is quiet). */
+EnvFinding checkGovernor(const std::string &contents);
+
+/** Evaluate /proc/loadavg (1-minute load vs CPU count). */
+EnvFinding checkLoadAverage(const std::string &contents,
+                            int cpu_count);
+
+/** Evaluate /proc/sys/kernel/randomize_va_space (ASLR). */
+EnvFinding checkAslr(const std::string &contents);
+
+/** Evaluate /sys/devices/system/cpu/smt/control. */
+EnvFinding checkSmt(const std::string &contents);
+
+/** Evaluate turbo state from intel_pstate/no_turbo ("1" = off). */
+EnvFinding checkTurbo(const std::string &contents);
+
+// --- Collection -----------------------------------------------------------
+
+/**
+ * Read the real system interfaces and produce a report. Missing
+ * files yield Unknown findings rather than errors.
+ */
+EnvReport collectEnvironment();
+
+} // namespace harness
+} // namespace rigor
+
+#endif // RIGOR_HARNESS_ENVCHECK_HH

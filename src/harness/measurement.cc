@@ -1,0 +1,48 @@
+#include "harness/measurement.hh"
+
+namespace rigor {
+namespace harness {
+
+std::vector<double>
+InvocationResult::times() const
+{
+    std::vector<double> out;
+    out.reserve(samples.size());
+    for (const auto &s : samples)
+        out.push_back(s.timeMs);
+    return out;
+}
+
+std::vector<std::vector<double>>
+RunResult::series() const
+{
+    std::vector<std::vector<double>> out;
+    out.reserve(invocations.size());
+    for (const auto &inv : invocations)
+        out.push_back(inv.times());
+    return out;
+}
+
+uarch::CounterSet
+RunResult::totalCounters() const
+{
+    uarch::CounterSet total;
+    for (const auto &inv : invocations)
+        for (const auto &s : inv.samples)
+            total.add(s.counters);
+    return total;
+}
+
+std::vector<uint64_t>
+RunResult::opMix() const
+{
+    std::vector<uint64_t> mix(
+        static_cast<size_t>(vm::Op::NumOpcodes), 0);
+    for (const auto &inv : invocations)
+        for (size_t i = 0; i < mix.size(); ++i)
+            mix[i] += inv.vmStats.perOp[i];
+    return mix;
+}
+
+} // namespace harness
+} // namespace rigor

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Measurement containers for the two-level experiment design:
+ * a *run* consists of multiple VM *invocations*, each executing
+ * multiple in-process *iterations* of a workload's entry function.
+ */
+
+#ifndef RIGOR_HARNESS_MEASUREMENT_HH
+#define RIGOR_HARNESS_MEASUREMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/counters.hh"
+#include "vm/interp.hh"
+
+namespace rigor {
+namespace harness {
+
+/** One in-process iteration's measurements. */
+struct IterationSample
+{
+    /** Modelled execution time in milliseconds (noise applied). */
+    double timeMs = 0.0;
+    /** Noise-free simulated cycle count for the iteration. */
+    uint64_t simCycles = 0;
+    /** Host wall-clock nanoseconds (informational only). */
+    uint64_t wallNanos = 0;
+    /** Per-iteration perf-counter deltas. */
+    uarch::CounterSet counters;
+};
+
+/** All measurements from one VM invocation. */
+struct InvocationResult
+{
+    /** Seed that derived this invocation's hash seed / ASLR / noise. */
+    uint64_t invocationSeed = 0;
+    std::vector<IterationSample> samples;
+    /** VM statistics at the end of the invocation. */
+    vm::InterpStats vmStats;
+    /** Workload checksum (must match across invocations). */
+    int64_t checksum = 0;
+
+    /** The per-iteration time series. */
+    std::vector<double> times() const;
+};
+
+/** A complete experiment run for one (workload, tier) pair. */
+struct RunResult
+{
+    std::string workload;
+    vm::Tier tier = vm::Tier::Interp;
+    int64_t size = 0;
+    std::vector<InvocationResult> invocations;
+
+    /** series()[i][j]: iteration j of invocation i, in ms. */
+    std::vector<std::vector<double>> series() const;
+
+    /** Counter totals summed over all iterations and invocations. */
+    uarch::CounterSet totalCounters() const;
+
+    /** Dynamic per-opcode counts summed over invocations. */
+    std::vector<uint64_t> opMix() const;
+};
+
+} // namespace harness
+} // namespace rigor
+
+#endif // RIGOR_HARNESS_MEASUREMENT_HH

@@ -1,0 +1,29 @@
+#include "harness/noise.hh"
+
+namespace rigor {
+namespace harness {
+
+NoiseModel::NoiseModel(NoiseConfig config, uint64_t invocation_seed)
+    : cfg(config), rng(invocation_seed ^ 0xd1b54a32d192ed03ULL),
+      bias(1.0)
+{
+    if (cfg.enabled && cfg.betweenSigma > 0.0)
+        bias = rng.nextLogNormal(0.0, cfg.betweenSigma);
+}
+
+double
+NoiseModel::nextIterationFactor()
+{
+    if (!cfg.enabled)
+        return 1.0;
+    double factor = bias;
+    if (cfg.withinSigma > 0.0)
+        factor *= rng.nextLogNormal(0.0, cfg.withinSigma);
+    if (cfg.spikeProbability > 0.0 &&
+        rng.nextBernoulli(cfg.spikeProbability))
+        factor *= 1.0 + rng.nextExponential(1.0 / cfg.spikeScale);
+    return factor;
+}
+
+} // namespace harness
+} // namespace rigor

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Measurement-noise model with known ground truth.
+ *
+ * Real benchmarking noise has (at least) three components the
+ * methodology must separate:
+ *   1. a per-invocation bias (ASLR, hash seed, CPU frequency state,
+ *      co-located load at launch) — identical for every iteration of
+ *      one invocation;
+ *   2. per-iteration jitter (timer interrupts, minor scheduling);
+ *   3. rare spikes (daemon wakeups, SMIs).
+ * Because the noise here is injected with *known parameters*, tests
+ * can verify that the statistical estimators recover them — something
+ * impossible on real hardware.
+ */
+
+#ifndef RIGOR_HARNESS_NOISE_HH
+#define RIGOR_HARNESS_NOISE_HH
+
+#include <cstdint>
+
+#include "support/rng.hh"
+
+namespace rigor {
+namespace harness {
+
+/** Parameters of the noise model. */
+struct NoiseConfig
+{
+    /** Log-normal sigma of the per-invocation multiplicative bias. */
+    double betweenSigma = 0.015;
+    /** Log-normal sigma of the per-iteration multiplicative jitter. */
+    double withinSigma = 0.006;
+    /** Probability that an iteration takes a spike. */
+    double spikeProbability = 0.01;
+    /** Mean relative magnitude of a spike (exponential). */
+    double spikeScale = 0.10;
+    /** Disable all noise (pure simulation determinism). */
+    bool enabled = true;
+};
+
+/**
+ * Draws noise factors for one invocation's iterations. Construct one
+ * per invocation with that invocation's seed.
+ */
+class NoiseModel
+{
+  public:
+    NoiseModel(NoiseConfig config, uint64_t invocation_seed);
+
+    /**
+     * Multiplicative factor (>= 0) to apply to the next iteration's
+     * modelled time; includes the invocation bias.
+     */
+    double nextIterationFactor();
+
+    /** The invocation's fixed bias factor (for tests). */
+    double invocationBias() const { return bias; }
+
+  private:
+    NoiseConfig cfg;
+    Rng rng;
+    double bias;
+};
+
+} // namespace harness
+} // namespace rigor
+
+#endif // RIGOR_HARNESS_NOISE_HH

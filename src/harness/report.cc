@@ -1,0 +1,193 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/csv.hh"
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace rigor {
+namespace harness {
+
+std::string
+formatCi(const stats::ConfidenceInterval &ci, int places)
+{
+    return fmtDouble(ci.estimate, places) + " [" +
+        fmtDouble(ci.lower, places) + ", " +
+        fmtDouble(ci.upper, places) + "]";
+}
+
+std::string
+formatCiPercent(const stats::ConfidenceInterval &ci, int places)
+{
+    return fmtDouble(ci.estimate, places) + " ±" +
+        fmtDouble(100.0 * ci.relativeHalfWidth(), 1) + "%";
+}
+
+std::string
+asciiSeries(const std::vector<double> &values, int height,
+            int max_width)
+{
+    if (values.empty())
+        return "(empty series)\n";
+    // Downsample to max_width columns by averaging buckets.
+    size_t n = values.size();
+    size_t width = std::min<size_t>(n, static_cast<size_t>(max_width));
+    std::vector<double> cols(width, 0.0);
+    for (size_t c = 0; c < width; ++c) {
+        size_t lo = c * n / width;
+        size_t hi = std::max(lo + 1, (c + 1) * n / width);
+        double sum = 0.0;
+        for (size_t i = lo; i < hi; ++i)
+            sum += values[i];
+        cols[c] = sum / static_cast<double>(hi - lo);
+    }
+    double vmin = *std::min_element(cols.begin(), cols.end());
+    double vmax = *std::max_element(cols.begin(), cols.end());
+    double span = vmax - vmin;
+    if (span <= 0.0)
+        span = 1.0;
+
+    std::string out;
+    for (int row = height - 1; row >= 0; --row) {
+        double threshold = vmin + span * (row + 0.5) / height;
+        std::string line;
+        for (size_t c = 0; c < width; ++c)
+            line += cols[c] >= threshold ? '#' : ' ';
+        out += "  |" + line + "\n";
+    }
+    out += "  +" + repeat('-', width) + "\n";
+    out += "   min=" + fmtDouble(vmin, 4) + "  max=" +
+        fmtDouble(vmax, 4) + "  n=" + std::to_string(n) + "\n";
+    return out;
+}
+
+std::string
+sparkline(const std::vector<double> &values, int max_width)
+{
+    static const char *levels[] = {"▁", "▂", "▃",
+                                   "▄", "▅", "▆",
+                                   "▇", "█"};
+    if (values.empty())
+        return "";
+    size_t n = values.size();
+    size_t width = std::min<size_t>(n, static_cast<size_t>(max_width));
+    std::string out;
+    double vmin = *std::min_element(values.begin(), values.end());
+    double vmax = *std::max_element(values.begin(), values.end());
+    double span = vmax - vmin > 0.0 ? vmax - vmin : 1.0;
+    for (size_t c = 0; c < width; ++c) {
+        size_t lo = c * n / width;
+        size_t hi = std::max(lo + 1, (c + 1) * n / width);
+        double sum = 0.0;
+        for (size_t i = lo; i < hi; ++i)
+            sum += values[i];
+        double v = sum / static_cast<double>(hi - lo);
+        int level = static_cast<int>((v - vmin) / span * 7.0 + 0.5);
+        level = std::clamp(level, 0, 7);
+        out += levels[level];
+    }
+    return out;
+}
+
+void
+writeSeriesCsv(std::ostream &os, const RunResult &run)
+{
+    CsvWriter csv(os);
+    csv.writeRow({"workload", "tier", "invocation", "iteration",
+                  "time_ms", "sim_cycles", "instructions", "ipc",
+                  "branch_mpki", "l1d_mpki", "llc_mpki"});
+    for (size_t inv = 0; inv < run.invocations.size(); ++inv) {
+        const auto &samples = run.invocations[inv].samples;
+        for (size_t it = 0; it < samples.size(); ++it) {
+            const auto &s = samples[it];
+            csv.field(run.workload)
+                .field(std::string(vm::tierName(run.tier)))
+                .field(static_cast<uint64_t>(inv))
+                .field(static_cast<uint64_t>(it))
+                .field(s.timeMs)
+                .field(s.simCycles)
+                .field(s.counters.instructions)
+                .field(s.counters.ipc())
+                .field(s.counters.branchMpki())
+                .field(s.counters.l1dMpki())
+                .field(s.counters.llcMpki());
+            csv.endRow();
+        }
+    }
+}
+
+Json
+runToJson(const RunResult &run)
+{
+    Json root = Json::object();
+    root.set("workload", run.workload);
+    root.set("tier", std::string(vm::tierName(run.tier)));
+    root.set("size", run.size);
+    Json invs = Json::array();
+    for (const auto &inv : run.invocations) {
+        Json j = Json::object();
+        j.set("seed", strprintf("0x%016llx",
+                                static_cast<unsigned long long>(
+                                    inv.invocationSeed)));
+        j.set("checksum", inv.checksum);
+        Json times = Json::array();
+        Json cycles = Json::array();
+        for (const auto &s : inv.samples) {
+            times.push(s.timeMs);
+            cycles.push(s.simCycles);
+        }
+        j.set("times_ms", std::move(times));
+        j.set("sim_cycles", std::move(cycles));
+        invs.push(std::move(j));
+    }
+    root.set("invocations", std::move(invs));
+    return root;
+}
+
+RunResult
+runFromJson(const Json &doc)
+{
+    RunResult run;
+    run.workload = doc.at("workload").asString();
+    const std::string &tier = doc.at("tier").asString();
+    if (tier == "adaptive")
+        run.tier = vm::Tier::Adaptive;
+    else if (tier == "interp")
+        run.tier = vm::Tier::Interp;
+    else
+        fatal("runFromJson: unknown tier '%s'", tier.c_str());
+    run.size = doc.at("size").asInt();
+
+    const Json &invs = doc.at("invocations");
+    for (size_t i = 0; i < invs.size(); ++i) {
+        const Json &j = invs.at(i);
+        InvocationResult inv;
+        inv.invocationSeed = static_cast<uint64_t>(
+            std::strtoull(j.at("seed").asString().c_str(), nullptr,
+                          0));
+        inv.checksum = j.at("checksum").asInt();
+        const Json &times = j.at("times_ms");
+        const Json &cycles = j.at("sim_cycles");
+        if (times.size() != cycles.size())
+            fatal("runFromJson: times/cycles length mismatch");
+        for (size_t k = 0; k < times.size(); ++k) {
+            IterationSample s;
+            s.timeMs = times.at(k).asDouble();
+            s.simCycles =
+                static_cast<uint64_t>(cycles.at(k).asInt());
+            s.counters.cycles = s.simCycles;
+            inv.samples.push_back(std::move(s));
+        }
+        if (inv.samples.empty())
+            fatal("runFromJson: invocation %zu has no samples", i);
+        run.invocations.push_back(std::move(inv));
+    }
+    if (run.invocations.empty())
+        fatal("runFromJson: no invocations");
+    return run;
+}
+
+} // namespace harness
+} // namespace rigor

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Report formatting: confidence-interval strings, ASCII sparkline
+ * "figures" for per-iteration series, and CSV/JSON export of run
+ * results so external plotting can regenerate the paper's figures.
+ */
+
+#ifndef RIGOR_HARNESS_REPORT_HH
+#define RIGOR_HARNESS_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "harness/measurement.hh"
+#include "stats/ci.hh"
+#include "support/json.hh"
+
+namespace rigor {
+namespace harness {
+
+/** "12.345 [12.1, 12.6]" with the given decimal places. */
+std::string formatCi(const stats::ConfidenceInterval &ci, int places);
+
+/** "12.345 ± 2.1%" style rendering. */
+std::string formatCiPercent(const stats::ConfidenceInterval &ci,
+                            int places);
+
+/**
+ * Render a numeric series as an ASCII chart, one row per output line:
+ * values are min-max scaled onto `height` levels of '#' columns.
+ */
+std::string asciiSeries(const std::vector<double> &values,
+                        int height = 8, int max_width = 72);
+
+/** Compact one-line sparkline using block characters. */
+std::string sparkline(const std::vector<double> &values,
+                      int max_width = 64);
+
+/** Write one run's per-iteration samples as CSV rows. */
+void writeSeriesCsv(std::ostream &os, const RunResult &run);
+
+/** Full JSON dump of a run (times + counters per iteration). */
+Json runToJson(const RunResult &run);
+
+/**
+ * Rebuild a RunResult from runToJson() output. Only the fields the
+ * analyses need (times and cycle counts) are restored; per-iteration
+ * counter details and VM stats are not serialized. Enables offline
+ * re-analysis of archived measurements.
+ * @throws FatalError / PanicError on malformed documents.
+ */
+RunResult runFromJson(const Json &doc);
+
+} // namespace harness
+} // namespace rigor
+
+#endif // RIGOR_HARNESS_REPORT_HH

@@ -1,0 +1,135 @@
+#include "harness/runner.hh"
+
+#include <chrono>
+
+#include "support/logging.hh"
+#include "vm/compiler.hh"
+
+namespace rigor {
+namespace harness {
+
+namespace {
+
+uint64_t
+deriveSeed(uint64_t master, uint64_t stream, uint64_t index)
+{
+    SplitMix64 sm(master ^ (stream * 0x9e3779b97f4a7c15ULL) ^
+                  (index + 1));
+    return sm.next();
+}
+
+/** Execute one fresh VM invocation of the experiment design. */
+InvocationResult
+runOneInvocation(const vm::Program &prog,
+                 const workloads::WorkloadSpec &spec,
+                 const RunnerConfig &config, int64_t size,
+                 int invocation_index)
+{
+    uint64_t inv_seed =
+        deriveSeed(config.seed, 1,
+                   static_cast<uint64_t>(invocation_index));
+
+    vm::InterpConfig icfg;
+    icfg.tier = config.tier;
+    icfg.jitThreshold = config.jitThreshold;
+    icfg.dispatchUops = config.dispatchUops;
+    icfg.hashSeed = deriveSeed(inv_seed, 2, 0);
+    icfg.aslrSeed = deriveSeed(inv_seed, 3, 0);
+    icfg.captureOutput = false;
+
+    uarch::PerfModel model(config.uarch);
+    vm::Interp interp(prog, icfg, &model);
+    interp.runModule();
+
+    NoiseModel noise(config.noise, inv_seed);
+
+    InvocationResult inv_result;
+    inv_result.invocationSeed = inv_seed;
+    inv_result.samples.reserve(
+        static_cast<size_t>(config.iterations));
+
+    uarch::CounterSet prev = model.snapshot();
+    for (int it = 0; it < config.iterations; ++it) {
+        auto wall_start = std::chrono::steady_clock::now();
+        vm::Value r =
+            interp.callGlobal("run", {vm::Value::makeInt(size)});
+        auto wall_end = std::chrono::steady_clock::now();
+
+        int64_t checksum = r.isInt()
+            ? r.asInt()
+            : static_cast<int64_t>(r.numeric());
+        if (inv_result.samples.empty()) {
+            inv_result.checksum = checksum;
+        } else if (inv_result.checksum != checksum) {
+            panic("workload %s: checksum changed between iterations "
+                  "(%lld vs %lld)",
+                  spec.name.c_str(),
+                  static_cast<long long>(inv_result.checksum),
+                  static_cast<long long>(checksum));
+        }
+
+        uarch::CounterSet now = model.snapshot();
+        IterationSample sample;
+        sample.counters = now.diff(prev);
+        prev = now;
+        sample.simCycles = sample.counters.cycles;
+        sample.timeMs = static_cast<double>(sample.simCycles) /
+            config.cyclesPerMs * noise.nextIterationFactor();
+        sample.wallNanos = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                wall_end - wall_start)
+                .count());
+        inv_result.samples.push_back(std::move(sample));
+    }
+    inv_result.vmStats = interp.stats();
+    return inv_result;
+}
+
+} // namespace
+
+RunResult
+runExperiment(const workloads::WorkloadSpec &spec,
+              const RunnerConfig &config)
+{
+    RunResult result;
+    result.workload = spec.name;
+    result.tier = config.tier;
+    result.size = config.size > 0 ? config.size : spec.defaultSize;
+    extendExperiment(spec, config, result, config.invocations);
+    return result;
+}
+
+void
+extendExperiment(const workloads::WorkloadSpec &spec,
+                 const RunnerConfig &config, RunResult &run,
+                 int additional)
+{
+    vm::Program prog = vm::compileSource(spec.source, spec.name);
+    int64_t size = run.size > 0
+        ? run.size
+        : (config.size > 0 ? config.size : spec.defaultSize);
+    run.size = size;
+
+    int start = static_cast<int>(run.invocations.size());
+    for (int inv = start; inv < start + additional; ++inv) {
+        run.invocations.push_back(
+            runOneInvocation(prog, spec, config, size, inv));
+        // Cross-invocation checksum verification.
+        if (run.invocations.back().checksum !=
+            run.invocations.front().checksum) {
+            panic("workload %s: checksum differs across invocations",
+                  spec.name.c_str());
+        }
+    }
+}
+
+RunResult
+runExperiment(const std::string &workload_name,
+              const RunnerConfig &config)
+{
+    return runExperiment(workloads::findWorkload(workload_name),
+                         config);
+}
+
+} // namespace harness
+} // namespace rigor

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The benchmark runner: executes the (invocation x iteration) design
+ * for one workload on one runtime tier, collecting per-iteration
+ * modelled times and perf counters.
+ */
+
+#ifndef RIGOR_HARNESS_RUNNER_HH
+#define RIGOR_HARNESS_RUNNER_HH
+
+#include <string>
+
+#include "harness/measurement.hh"
+#include "harness/noise.hh"
+#include "uarch/perf_model.hh"
+#include "workloads/workloads.hh"
+
+namespace rigor {
+namespace harness {
+
+/** Configuration of one experiment run. */
+struct RunnerConfig
+{
+    /** Number of fresh VM invocations. */
+    int invocations = 10;
+    /** In-process iterations per invocation. */
+    int iterations = 30;
+    /** Runtime tier to measure. */
+    vm::Tier tier = vm::Tier::Interp;
+    /** JIT hot threshold (adaptive tier). */
+    int jitThreshold = 64;
+    /** Interpreter dispatch cost in micro-ops (see InterpConfig). */
+    uint32_t dispatchUops = 6;
+    /** Workload size (0 = the workload's defaultSize). */
+    int64_t size = 0;
+    /** Master seed; all invocation seeds derive from it. */
+    uint64_t seed = 0xc0ffee;
+    /** Noise model parameters. */
+    NoiseConfig noise;
+    /** Microarchitecture model parameters. */
+    uarch::PerfModelConfig uarch;
+    /** Modelled clock in cycles per millisecond (3 GHz default). */
+    double cyclesPerMs = 3.0e6;
+};
+
+/**
+ * Run the full experiment design for one workload.
+ * Checksums are verified to be identical across invocations; a
+ * mismatch raises PanicError (it would indicate a VM bug).
+ */
+RunResult runExperiment(const workloads::WorkloadSpec &spec,
+                        const RunnerConfig &config);
+
+/** Convenience: look up the workload by name and run it. */
+RunResult runExperiment(const std::string &workload_name,
+                        const RunnerConfig &config);
+
+/**
+ * Append `additional` fresh invocations to an existing run (the new
+ * invocation seeds continue the original sequence, so extending a run
+ * equals having asked for more invocations upfront). Used by the
+ * sequential-stopping design.
+ */
+void extendExperiment(const workloads::WorkloadSpec &spec,
+                      const RunnerConfig &config, RunResult &run,
+                      int additional);
+
+} // namespace harness
+} // namespace rigor
+
+#endif // RIGOR_HARNESS_RUNNER_HH

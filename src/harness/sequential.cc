@@ -1,0 +1,54 @@
+#include "harness/sequential.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace rigor {
+namespace harness {
+
+SequentialResult
+runSequential(const workloads::WorkloadSpec &spec,
+              const RunnerConfig &base, const SequentialConfig &seq)
+{
+    if (seq.minInvocations < 2)
+        fatal("sequential design needs at least 2 invocations");
+    if (seq.maxInvocations < seq.minInvocations)
+        fatal("maxInvocations must be >= minInvocations");
+    if (seq.batchSize < 1)
+        fatal("batchSize must be positive");
+
+    SequentialResult out;
+    out.run.workload = spec.name;
+    out.run.tier = base.tier;
+    out.run.size = base.size > 0 ? base.size : spec.defaultSize;
+
+    extendExperiment(spec, base, out.run, seq.minInvocations);
+    for (;;) {
+        out.estimate = rigorousEstimate(out.run, seq.confidence);
+        double rel = out.estimate.ci.relativeHalfWidth();
+        out.widthTrajectory.push_back(rel);
+        out.invocationsUsed =
+            static_cast<int>(out.run.invocations.size());
+        if (rel <= seq.targetRelativeHalfWidth) {
+            out.converged = true;
+            return out;
+        }
+        if (out.invocationsUsed >= seq.maxInvocations)
+            return out;
+        int add = std::min(seq.batchSize,
+                           seq.maxInvocations - out.invocationsUsed);
+        extendExperiment(spec, base, out.run, add);
+    }
+}
+
+SequentialResult
+runSequential(const std::string &workload_name,
+              const RunnerConfig &base, const SequentialConfig &seq)
+{
+    return runSequential(workloads::findWorkload(workload_name), base,
+                         seq);
+}
+
+} // namespace harness
+} // namespace rigor

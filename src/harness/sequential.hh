@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Sequential (adaptive) experiment design: instead of fixing the
+ * number of VM invocations upfront, keep adding invocations until the
+ * rigorous estimate's confidence interval reaches a target relative
+ * half-width — or a budget cap is hit. This is the methodology's
+ * "run until you know enough" extension: it spends measurement time
+ * where variance demands it.
+ */
+
+#ifndef RIGOR_HARNESS_SEQUENTIAL_HH
+#define RIGOR_HARNESS_SEQUENTIAL_HH
+
+#include "harness/analysis.hh"
+#include "harness/runner.hh"
+
+namespace rigor {
+namespace harness {
+
+/** Stopping rule parameters. */
+struct SequentialConfig
+{
+    /** Invocations to run before the first convergence check. */
+    int minInvocations = 4;
+    /** Hard budget cap. */
+    int maxInvocations = 60;
+    /** Invocations added per round between checks. */
+    int batchSize = 2;
+    /** Stop once relativeHalfWidth() <= this. */
+    double targetRelativeHalfWidth = 0.02;
+    /** Confidence level of the interval being tightened. */
+    double confidence = 0.95;
+};
+
+/** Outcome of a sequential run. */
+struct SequentialResult
+{
+    RunResult run;
+    RigorousEstimate estimate;
+    /** True if the target precision was reached within budget. */
+    bool converged = false;
+    /** Number of invocations actually executed. */
+    int invocationsUsed = 0;
+    /** Relative half-width at each convergence check (trajectory). */
+    std::vector<double> widthTrajectory;
+};
+
+/**
+ * Run the sequential design for one workload. `base` supplies the
+ * per-invocation design (iterations, tier, noise, seed); its
+ * `invocations` field is ignored in favour of the stopping rule.
+ */
+SequentialResult runSequential(const workloads::WorkloadSpec &spec,
+                               const RunnerConfig &base,
+                               const SequentialConfig &seq = {});
+
+/** Convenience overload by workload name. */
+SequentialResult runSequential(const std::string &workload_name,
+                               const RunnerConfig &base,
+                               const SequentialConfig &seq = {});
+
+} // namespace harness
+} // namespace rigor
+
+#endif // RIGOR_HARNESS_SEQUENTIAL_HH

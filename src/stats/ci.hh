@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Confidence intervals: parametric (Student-t), nonparametric
+ * (bootstrap percentile), geometric-mean intervals and intervals for
+ * ratios of means — the core quantities the rigorous methodology
+ * reports instead of bare point estimates.
+ */
+
+#ifndef RIGOR_STATS_CI_HH
+#define RIGOR_STATS_CI_HH
+
+#include <functional>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace rigor {
+namespace stats {
+
+/** A point estimate with a two-sided confidence interval. */
+struct ConfidenceInterval
+{
+    double estimate = 0.0;
+    double lower = 0.0;
+    double upper = 0.0;
+    double confidence = 0.95;
+
+    /** Interval half-width. */
+    double halfWidth() const { return (upper - lower) / 2.0; }
+    /** Half-width relative to the estimate (dimensionless). */
+    double relativeHalfWidth() const;
+    /** True if the interval contains v. */
+    bool contains(double v) const { return v >= lower && v <= upper; }
+    /** True if the two intervals overlap. */
+    bool overlaps(const ConfidenceInterval &o) const;
+};
+
+/**
+ * Student-t confidence interval on the mean.
+ * @param xs sample (n >= 2 for a finite-width interval).
+ * @param confidence e.g. 0.95.
+ */
+ConfidenceInterval tInterval(const std::vector<double> &xs,
+                             double confidence = 0.95);
+
+/**
+ * Bootstrap percentile confidence interval for an arbitrary statistic.
+ * @param xs sample.
+ * @param statistic functional to bootstrap (e.g. median).
+ * @param rng seeded generator for resampling (reproducible).
+ * @param resamples number of bootstrap resamples.
+ */
+ConfidenceInterval bootstrapInterval(
+    const std::vector<double> &xs,
+    const std::function<double(const std::vector<double> &)> &statistic,
+    Rng &rng, double confidence = 0.95, int resamples = 2000);
+
+/**
+ * Confidence interval on the geometric mean, computed as a t-interval
+ * in log space and exponentiated back. All values must be positive.
+ */
+ConfidenceInterval geomeanInterval(const std::vector<double> &xs,
+                                   double confidence = 0.95);
+
+/**
+ * Confidence interval on the ratio mean(numer) / mean(denom) for two
+ * independent samples, using the log-transform + Welch approximation.
+ * Suitable for speedup reporting. All values must be positive.
+ */
+ConfidenceInterval ratioOfMeansInterval(const std::vector<double> &numer,
+                                        const std::vector<double> &denom,
+                                        double confidence = 0.95);
+
+/**
+ * Number of additional samples estimated to shrink a t-interval to the
+ * requested relative half-width, given the sample's current mean and
+ * standard deviation (normal-approximation planning formula).
+ * @return required total sample size (>= 2).
+ */
+size_t requiredSampleSize(const std::vector<double> &xs,
+                          double target_relative_half_width,
+                          double confidence = 0.95);
+
+} // namespace stats
+} // namespace rigor
+
+#endif // RIGOR_STATS_CI_HH

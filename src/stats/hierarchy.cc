@@ -1,0 +1,102 @@
+#include "stats/hierarchy.hh"
+
+#include <cmath>
+
+#include "stats/descriptive.hh"
+#include "support/logging.hh"
+
+namespace rigor {
+namespace stats {
+
+std::vector<double>
+invocationMeans(const std::vector<std::vector<double>> &samples)
+{
+    if (samples.empty())
+        panic("invocationMeans: no invocations");
+    std::vector<double> means;
+    means.reserve(samples.size());
+    for (const auto &inv : samples) {
+        if (inv.empty())
+            panic("invocationMeans: empty invocation");
+        means.push_back(mean(inv));
+    }
+    return means;
+}
+
+std::vector<double>
+flatten(const std::vector<std::vector<double>> &samples)
+{
+    std::vector<double> out;
+    for (const auto &inv : samples)
+        out.insert(out.end(), inv.begin(), inv.end());
+    return out;
+}
+
+ConfidenceInterval
+meanOfMeansInterval(const std::vector<std::vector<double>> &samples,
+                    double confidence)
+{
+    return tInterval(invocationMeans(samples), confidence);
+}
+
+ConfidenceInterval
+naivePooledInterval(const std::vector<std::vector<double>> &samples,
+                    double confidence)
+{
+    return tInterval(flatten(samples), confidence);
+}
+
+VarianceComponents
+decomposeVariance(const std::vector<std::vector<double>> &samples)
+{
+    if (samples.size() < 2)
+        panic("decomposeVariance: need at least 2 invocations");
+
+    size_t a = samples.size();
+    double total_n = 0.0;
+    double grand_sum = 0.0;
+    for (const auto &inv : samples) {
+        if (inv.size() < 2)
+            panic("decomposeVariance: need >= 2 iterations/invocation");
+        total_n += static_cast<double>(inv.size());
+        for (double x : inv)
+            grand_sum += x;
+    }
+    double grand_mean = grand_sum / total_n;
+
+    // One-way ANOVA sums of squares.
+    double ss_between = 0.0;
+    double ss_within = 0.0;
+    double sum_ni_sq = 0.0;
+    for (const auto &inv : samples) {
+        double ni = static_cast<double>(inv.size());
+        double mi = mean(inv);
+        ss_between += ni * (mi - grand_mean) * (mi - grand_mean);
+        for (double x : inv)
+            ss_within += (x - mi) * (x - mi);
+        sum_ni_sq += ni * ni;
+    }
+
+    double df_between = static_cast<double>(a) - 1.0;
+    double df_within = total_n - static_cast<double>(a);
+    double ms_between = ss_between / df_between;
+    double ms_within = ss_within / df_within;
+
+    // Method-of-moments n0 for (possibly) unbalanced designs.
+    double n0 = (total_n - sum_ni_sq / total_n) / df_between;
+
+    VarianceComponents vc;
+    vc.grandMean = grand_mean;
+    vc.withinInvocation = ms_within;
+    vc.betweenInvocation = std::max(0.0, (ms_between - ms_within) / n0);
+    if (grand_mean != 0.0) {
+        vc.betweenCoV = std::sqrt(vc.betweenInvocation) /
+            std::fabs(grand_mean);
+        vc.withinCoV = std::sqrt(vc.withinInvocation) /
+            std::fabs(grand_mean);
+    }
+    return vc;
+}
+
+} // namespace stats
+} // namespace rigor

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Two-level hierarchical analysis of (invocation x iteration) samples.
+ *
+ * The rigorous methodology's central estimator: benchmark measurements
+ * form a two-level hierarchy — multiple VM invocations, each with
+ * multiple in-process iterations. Iterations within one invocation
+ * share state (JIT code, heap layout, hash seed) and are therefore
+ * correlated; treating all iterations as i.i.d. underestimates the
+ * variance and produces overconfident intervals. The correct unit of
+ * replication for cross-invocation effects is the invocation mean
+ * (Kalibera & Jones; Georges et al., OOPSLA'07).
+ */
+
+#ifndef RIGOR_STATS_HIERARCHY_HH
+#define RIGOR_STATS_HIERARCHY_HH
+
+#include <vector>
+
+#include "stats/ci.hh"
+
+namespace rigor {
+namespace stats {
+
+/** Variance decomposition of a two-level sample. */
+struct VarianceComponents
+{
+    double betweenInvocation = 0.0;  ///< variance of true invocation means
+    double withinInvocation = 0.0;   ///< pooled iteration variance
+    double betweenCoV = 0.0;   ///< sqrt(between) / grand mean
+    double withinCoV = 0.0;    ///< sqrt(within) / grand mean
+    double grandMean = 0.0;
+
+    /** Fraction of total variance attributable to invocations. */
+    double
+    intraclassCorrelation() const
+    {
+        double total = betweenInvocation + withinInvocation;
+        return total > 0.0 ? betweenInvocation / total : 0.0;
+    }
+};
+
+/**
+ * Mean-of-means estimate with a Student-t confidence interval whose
+ * unit of replication is the invocation mean. This is the "rigorous"
+ * estimator the methodology recommends.
+ *
+ * @param samples samples[i][j] = iteration j of invocation i. Every
+ *        invocation must be non-empty; invocation counts may differ.
+ */
+ConfidenceInterval meanOfMeansInterval(
+    const std::vector<std::vector<double>> &samples,
+    double confidence = 0.95);
+
+/**
+ * ANOVA-style method-of-moments variance decomposition into
+ * between-invocation and within-invocation components (balanced or
+ * mildly unbalanced designs; negative between-components are clamped
+ * to zero as usual).
+ */
+VarianceComponents decomposeVariance(
+    const std::vector<std::vector<double>> &samples);
+
+/** Per-invocation means (the replication units). */
+std::vector<double> invocationMeans(
+    const std::vector<std::vector<double>> &samples);
+
+/** All iterations flattened into one vector (the *naive* pooling). */
+std::vector<double> flatten(
+    const std::vector<std::vector<double>> &samples);
+
+/**
+ * The *incorrect* interval obtained by pooling all iterations as if
+ * they were independent. Provided so experiments can quantify how
+ * overconfident the naive analysis is.
+ */
+ConfidenceInterval naivePooledInterval(
+    const std::vector<std::vector<double>> &samples,
+    double confidence = 0.95);
+
+} // namespace stats
+} // namespace rigor
+
+#endif // RIGOR_STATS_HIERARCHY_HH

@@ -1,0 +1,455 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace rigor {
+
+Json::Json(uint64_t u)
+    : type_(Type::Int)
+{
+    if (u > static_cast<uint64_t>(std::numeric_limits<int64_t>::max()))
+        panic("Json: uint64 value does not fit in int64");
+    intVal = static_cast<int64_t>(u);
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+void
+Json::push(Json v)
+{
+    if (type_ != Type::Array)
+        panic("Json::push on non-array");
+    arr.push_back(std::move(v));
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    if (type_ != Type::Object)
+        panic("Json::set on non-object");
+    obj[key] = std::move(v);
+}
+
+size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arr.size();
+    if (type_ == Type::Object)
+        return obj.size();
+    panic("Json::size on scalar");
+}
+
+const Json &
+Json::at(size_t idx) const
+{
+    if (type_ != Type::Array)
+        panic("Json::at(index) on non-array");
+    if (idx >= arr.size())
+        panic("Json::at: index %zu out of range", idx);
+    return arr[idx];
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        panic("Json::at(key) on non-object");
+    auto it = obj.find(key);
+    if (it == obj.end())
+        panic("Json::at: missing key '%s'", key.c_str());
+    return it->second;
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    return type_ == Type::Object && obj.count(key) > 0;
+}
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        panic("Json::asBool on non-bool");
+    return boolVal;
+}
+
+int64_t
+Json::asInt() const
+{
+    if (type_ == Type::Int)
+        return intVal;
+    panic("Json::asInt on non-int");
+}
+
+double
+Json::asDouble() const
+{
+    if (type_ == Type::Double)
+        return dblVal;
+    if (type_ == Type::Int)
+        return static_cast<double>(intVal);
+    panic("Json::asDouble on non-numeric");
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        panic("Json::asString on non-string");
+    return strVal;
+}
+
+namespace {
+
+void
+escapeInto(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent < 0)
+        return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += boolVal ? "true" : "false";
+        break;
+      case Type::Int:
+        out += std::to_string(intVal);
+        break;
+      case Type::Double: {
+        if (std::isnan(dblVal) || std::isinf(dblVal)) {
+            out += "null";
+        } else {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.17g", dblVal);
+            out += buf;
+        }
+        break;
+      }
+      case Type::String:
+        escapeInto(out, strVal);
+        break;
+      case Type::Array: {
+        out += '[';
+        bool first = true;
+        for (const auto &v : arr) {
+            if (!first)
+                out += ',';
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            v.dumpTo(out, indent, depth + 1);
+        }
+        if (!arr.empty())
+            newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[k, v] : obj) {
+            if (!first)
+                out += ',';
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            escapeInto(out, k);
+            out += indent < 0 ? ":" : ": ";
+            v.dumpTo(out, indent, depth + 1);
+        }
+        if (!obj.empty())
+            newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a flat buffer. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text), pos(0) {}
+
+    Json
+    parseDocument()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (pos != s.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("JSON parse error at offset %zu: %s", pos, what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= s.size())
+            fail("unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        size_t n = std::char_traits<char>::length(lit);
+        if (s.compare(pos, n, lit) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return Json(parseString());
+        if (consumeLiteral("true"))
+            return Json(true);
+        if (consumeLiteral("false"))
+            return Json(false);
+        if (consumeLiteral("null"))
+            return Json();
+        return parseNumber();
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos >= s.size())
+                fail("unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos >= s.size())
+                    fail("bad escape");
+                char e = s[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    if (pos + 4 > s.size())
+                        fail("bad \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            fail("bad hex digit");
+                    }
+                    if (code > 0x7f)
+                        fail("non-ASCII \\u escape unsupported");
+                    out += static_cast<char>(code);
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        bool isDouble = false;
+        while (pos < s.size()) {
+            char c = s[pos];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isDouble = true;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start)
+            fail("expected number");
+        std::string num = s.substr(start, pos - start);
+        if (isDouble)
+            return Json(std::stod(num));
+        try {
+            return Json(static_cast<int64_t>(std::stoll(num)));
+        } catch (const std::out_of_range &) {
+            return Json(std::stod(num));
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json out = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return out;
+        }
+        for (;;) {
+            out.push(parseValue());
+            skipWs();
+            char c = peek();
+            ++pos;
+            if (c == ']')
+                return out;
+            if (c != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json out = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return out;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            out.set(key, parseValue());
+            skipWs();
+            char c = peek();
+            ++pos;
+            if (c == '}')
+                return out;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &s;
+    size_t pos;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    Parser p(text);
+    return p.parseDocument();
+}
+
+} // namespace rigor

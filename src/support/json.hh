@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Minimal JSON value model, serializer and parser.
+ *
+ * Used to dump experiment results in a machine-readable form and to read
+ * experiment configurations. Only the JSON subset needed by the framework
+ * is supported (no \\u escapes beyond ASCII, numbers as double/int64).
+ */
+
+#ifndef RIGOR_SUPPORT_JSON_HH
+#define RIGOR_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rigor {
+
+/** A JSON value: null, bool, int, double, string, array or object. */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+    /** Construct null. */
+    Json() : type_(Type::Null) {}
+    /** Construct a boolean. */
+    Json(bool b) : type_(Type::Bool), boolVal(b) {}
+    /** Construct an integer. */
+    Json(int64_t i) : type_(Type::Int), intVal(i) {}
+    /** Construct an integer from int. */
+    Json(int i) : type_(Type::Int), intVal(i) {}
+    /** Construct an integer from uint64 (must fit in int64). */
+    Json(uint64_t u);
+    /** Construct a double. */
+    Json(double d) : type_(Type::Double), dblVal(d) {}
+    /** Construct a string. */
+    Json(std::string s) : type_(Type::String), strVal(std::move(s)) {}
+    /** Construct a string from a literal. */
+    Json(const char *s) : type_(Type::String), strVal(s) {}
+
+    /** Make an empty array. */
+    static Json array();
+    /** Make an empty object. */
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+
+    /** Append to an array (panics if not an array). */
+    void push(Json v);
+    /** Set an object key (panics if not an object). */
+    void set(const std::string &key, Json v);
+
+    /** Array/object size. */
+    size_t size() const;
+    /** Array element access (panics on type/range errors). */
+    const Json &at(size_t idx) const;
+    /** Object member access (panics if missing). */
+    const Json &at(const std::string &key) const;
+    /** True if object has the key. */
+    bool has(const std::string &key) const;
+
+    bool asBool() const;
+    int64_t asInt() const;
+    /** Numeric access: works for Int and Double. */
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /** Serialize; indent < 0 means compact single-line output. */
+    std::string dump(int indent = -1) const;
+
+    /** Parse a JSON document; throws FatalError on malformed input. */
+    static Json parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool boolVal = false;
+    int64_t intVal = 0;
+    double dblVal = 0.0;
+    std::string strVal;
+    std::vector<Json> arr;
+    // std::map keeps key order deterministic, which keeps dumps diffable.
+    std::map<std::string, Json> obj;
+};
+
+} // namespace rigor
+
+#endif // RIGOR_SUPPORT_JSON_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (aborts), fatal() for user errors (clean exit), warn()/inform() for
+ * status messages that never stop execution.
+ */
+
+#ifndef RIGOR_SUPPORT_LOGGING_HH
+#define RIGOR_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace rigor {
+
+/** Exception thrown by fatal() so user errors are testable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception thrown by panic() so invariant violations are testable. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/**
+ * printf-style formatting into a std::string.
+ *
+ * @param fmt printf format string.
+ * @return the formatted string.
+ */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style counterpart of strprintf(). */
+std::string vstrprintf(const char *fmt, va_list ap);
+
+/**
+ * Report an unrecoverable internal error (a bug in this library).
+ * Throws PanicError; never returns normally.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad input, bad configuration).
+ * Throws FatalError; never returns normally.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+} // namespace rigor
+
+#endif // RIGOR_SUPPORT_LOGGING_HH

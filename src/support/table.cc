@@ -1,0 +1,106 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace rigor {
+
+Table::Table(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+    if (headers.empty())
+        panic("Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers.size())
+        panic("Table::addRow: expected %zu cells, got %zu",
+              headers.size(), row.size());
+    rows.push_back(std::move(row));
+}
+
+void
+Table::setCaption(std::string c)
+{
+    caption = std::move(c);
+}
+
+bool
+Table::looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    bool digit = false;
+    for (char c : cell) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            digit = true;
+        } else if (c != '.' && c != '-' && c != '+' && c != '%' &&
+                   c != ',' && c != 'e' && c != 'E' && c != 'x') {
+            return false;
+        }
+    }
+    return digit;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    // A column is right-aligned if every non-empty cell looks numeric.
+    std::vector<bool> rightAlign(headers.size(), true);
+    for (size_t c = 0; c < headers.size(); ++c) {
+        bool any = false;
+        for (const auto &row : rows) {
+            if (row[c].empty())
+                continue;
+            any = true;
+            if (!looksNumeric(row[c])) {
+                rightAlign[c] = false;
+                break;
+            }
+        }
+        if (!any)
+            rightAlign[c] = false;
+    }
+
+    std::string sep = "+";
+    for (size_t w : widths)
+        sep += repeat('-', w + 2) + "+";
+    sep += '\n';
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += ' ';
+            line += rightAlign[c] ? padLeft(row[c], widths[c])
+                                  : padRight(row[c], widths[c]);
+            line += " |";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out;
+    if (!caption.empty())
+        out += caption + '\n';
+    out += sep;
+    out += renderRow(headers);
+    out += sep;
+    for (const auto &row : rows)
+        out += renderRow(row);
+    out += sep;
+    return out;
+}
+
+} // namespace rigor

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ASCII table formatting for bench/example report output.
+ */
+
+#ifndef RIGOR_SUPPORT_TABLE_HH
+#define RIGOR_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace rigor {
+
+/**
+ * Builds fixed-width ASCII tables like the rows a paper's table reports.
+ * Column alignment is inferred: numeric-looking cells are right-aligned.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Optional caption printed above the table. */
+    void setCaption(std::string caption);
+
+    /** Render the full table to a string. */
+    std::string render() const;
+
+    /** Number of data rows. */
+    size_t numRows() const { return rows.size(); }
+
+  private:
+    static bool looksNumeric(const std::string &cell);
+
+    std::string caption;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace rigor
+
+#endif // RIGOR_SUPPORT_TABLE_HH

@@ -1,0 +1,110 @@
+#include "uarch/branch.hh"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace rigor {
+namespace uarch {
+
+namespace {
+
+/** Cheap 64-bit hash for site ids (fibonacci hashing). */
+inline uint64_t
+hashSite(uint64_t site)
+{
+    return site * 0x9e3779b97f4a7c15ULL;
+}
+
+inline bool
+counterTaken(uint8_t c)
+{
+    return c >= 2;
+}
+
+inline uint8_t
+counterUpdate(uint8_t c, bool taken)
+{
+    if (taken)
+        return c < 3 ? c + 1 : 3;
+    return c > 0 ? c - 1 : 0;
+}
+
+} // namespace
+
+BimodalPredictor::BimodalPredictor(unsigned log2_entries)
+    : table(1ULL << log2_entries, 1),
+      mask((1ULL << log2_entries) - 1)
+{}
+
+bool
+BimodalPredictor::predictAndUpdate(uint64_t site, bool taken)
+{
+    std::size_t idx = static_cast<std::size_t>((hashSite(site) >> 16) & mask);
+    bool predicted = counterTaken(table[idx]);
+    table[idx] = counterUpdate(table[idx], taken);
+    return predicted == taken;
+}
+
+void
+BimodalPredictor::reset()
+{
+    std::fill(table.begin(), table.end(), 1);
+}
+
+GsharePredictor::GsharePredictor(unsigned log2_entries,
+                                 unsigned history_bits)
+    : table(1ULL << log2_entries, 1),
+      mask((1ULL << log2_entries) - 1),
+      historyMask((1ULL << history_bits) - 1)
+{}
+
+bool
+GsharePredictor::predictAndUpdate(uint64_t site, bool taken)
+{
+    std::size_t idx = static_cast<std::size_t>(
+        ((hashSite(site) >> 16) ^ history) & mask);
+    bool predicted = counterTaken(table[idx]);
+    table[idx] = counterUpdate(table[idx], taken);
+    history = ((history << 1) | (taken ? 1 : 0)) & historyMask;
+    return predicted == taken;
+}
+
+void
+GsharePredictor::reset()
+{
+    std::fill(table.begin(), table.end(), 1);
+    history = 0;
+}
+
+DispatchPredictor::DispatchPredictor(unsigned log2_entries,
+                                     unsigned history_ops)
+    : table(1ULL << log2_entries, 0xffff),
+      mask((1ULL << log2_entries) - 1)
+{
+    if (history_ops == 0)
+        history_ops = 1;
+    if (history_ops > 7)
+        history_ops = 7;
+    historyMask = (1ULL << (9 * history_ops)) - 1;
+}
+
+bool
+DispatchPredictor::predictAndUpdate(uint16_t opcode)
+{
+    std::size_t idx = static_cast<std::size_t>(hashSite(history) >> 16 & mask);
+    bool correct = table[idx] == opcode;
+    table[idx] = opcode;
+    // Fold the opcode into the (bounded) history.
+    history = ((history << 9) ^ opcode) & historyMask;
+    return correct;
+}
+
+void
+DispatchPredictor::reset()
+{
+    std::fill(table.begin(), table.end(), 0xffff);
+    history = 0;
+}
+
+} // namespace uarch
+} // namespace rigor

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Branch-predictor models: bimodal and gshare for conditional
+ * branches, plus a history-based indirect predictor for interpreter
+ * dispatch (the classic "interpreter dispatch is BTB-hostile" effect).
+ */
+
+#ifndef RIGOR_UARCH_BRANCH_HH
+#define RIGOR_UARCH_BRANCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rigor {
+namespace uarch {
+
+/** Interface of a conditional branch predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predict and then update with the actual outcome.
+     * @param site static branch identifier.
+     * @param taken actual outcome.
+     * @return true if the prediction was correct.
+     */
+    virtual bool predictAndUpdate(uint64_t site, bool taken) = 0;
+
+    /** Reset all predictor state. */
+    virtual void reset() = 0;
+};
+
+/** Classic bimodal predictor: 2-bit saturating counters per site. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @param log2_entries log2 of the counter-table size. */
+    explicit BimodalPredictor(unsigned log2_entries = 12);
+
+    bool predictAndUpdate(uint64_t site, bool taken) override;
+    void reset() override;
+
+  private:
+    std::vector<uint8_t> table;
+    uint64_t mask;
+};
+
+/** Gshare: global history XOR site indexes 2-bit counters. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param log2_entries log2 of the counter-table size.
+     * @param history_bits global-history length.
+     */
+    explicit GsharePredictor(unsigned log2_entries = 14,
+                             unsigned history_bits = 12);
+
+    bool predictAndUpdate(uint64_t site, bool taken) override;
+    void reset() override;
+
+  private:
+    std::vector<uint8_t> table;
+    uint64_t mask;
+    uint64_t history = 0;
+    uint64_t historyMask;
+};
+
+/**
+ * Indirect-target predictor for interpreter dispatch: predicts the
+ * next opcode from a hash of recent opcode history (a simplified
+ * ITTAGE). Compiled (quickened) code performs no dispatches, which is
+ * exactly why JIT tiers escape this penalty.
+ */
+class DispatchPredictor
+{
+  public:
+    /**
+     * @param log2_entries log2 of the target-table size.
+     * @param history_ops how many preceding opcodes the prediction
+     *        may condition on. A switch-based interpreter has one
+     *        shared indirect branch whose BTB entry thrashes (short
+     *        effective history); threaded code replicates the branch
+     *        per handler, which acts like conditioning on more
+     *        context.
+     */
+    explicit DispatchPredictor(unsigned log2_entries = 12,
+                               unsigned history_ops = 4);
+
+    /**
+     * Predict the opcode about to be dispatched, then update.
+     * @param opcode numeric opcode actually dispatched.
+     * @return true if predicted correctly.
+     */
+    bool predictAndUpdate(uint16_t opcode);
+
+    /** Reset predictor state. */
+    void reset();
+
+  private:
+    std::vector<uint16_t> table;
+    uint64_t mask;
+    uint64_t history = 0;
+    uint64_t historyMask;
+};
+
+} // namespace uarch
+} // namespace rigor
+
+#endif // RIGOR_UARCH_BRANCH_HH

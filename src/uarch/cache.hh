@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Set-associative cache model with true-LRU replacement, composable
+ * into a three-level hierarchy (L1D, L2, LLC).
+ */
+
+#ifndef RIGOR_UARCH_CACHE_HH
+#define RIGOR_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rigor {
+namespace uarch {
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    uint32_t sizeBytes = 32 * 1024;
+    uint32_t lineBytes = 64;
+    uint32_t ways = 8;
+
+    uint32_t
+    numSets() const
+    {
+        return sizeBytes / (lineBytes * ways);
+    }
+};
+
+/** One cache level; LRU replacement, write-allocate. */
+class Cache
+{
+  public:
+    explicit Cache(CacheGeometry geometry);
+
+    /**
+     * Access one line-aligned address.
+     * @return true on hit.
+     */
+    bool access(uint64_t addr);
+
+    /** Drop all cached lines. */
+    void reset();
+
+    uint64_t accesses() const { return accessCount; }
+    uint64_t misses() const { return missCount; }
+    const CacheGeometry &geometry() const { return geom; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    CacheGeometry geom;
+    std::vector<Line> lines;   ///< sets * ways, row-major by set
+    uint32_t setCount;
+    uint64_t lruClock = 0;
+    uint64_t accessCount = 0;
+    uint64_t missCount = 0;
+};
+
+/** Latencies (cycles) of the memory hierarchy. */
+struct MemoryLatencies
+{
+    uint32_t l1Hit = 1;     ///< folded into base uop cost
+    uint32_t l2Hit = 12;
+    uint32_t llcHit = 40;
+    uint32_t dram = 180;
+};
+
+/**
+ * Three-level data-cache hierarchy. access() walks the levels and
+ * returns the modelled latency of the access.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(CacheGeometry l1, CacheGeometry l2,
+                   CacheGeometry llc, MemoryLatencies lat = {});
+
+    /** Default desktop-class geometry (32K/256K/8M). */
+    static CacheHierarchy makeDefault();
+
+    /**
+     * Perform one access.
+     * @return modelled latency in cycles beyond the L1-hit cost.
+     */
+    uint32_t access(uint64_t addr);
+
+    /** Invalidate all levels. */
+    void reset();
+
+    const Cache &l1() const { return l1Cache; }
+    const Cache &l2() const { return l2Cache; }
+    const Cache &llc() const { return llcCache; }
+
+  private:
+    Cache l1Cache;
+    Cache l2Cache;
+    Cache llcCache;
+    MemoryLatencies lat;
+};
+
+} // namespace uarch
+} // namespace rigor
+
+#endif // RIGOR_UARCH_CACHE_HH

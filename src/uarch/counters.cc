@@ -1,0 +1,63 @@
+#include "uarch/counters.hh"
+
+namespace rigor {
+namespace uarch {
+
+namespace {
+
+uint64_t
+sub(uint64_t a, uint64_t b)
+{
+    return a >= b ? a - b : 0;
+}
+
+} // namespace
+
+CounterSet
+CounterSet::diff(const CounterSet &earlier) const
+{
+    CounterSet d;
+    d.bytecodes = sub(bytecodes, earlier.bytecodes);
+    d.instructions = sub(instructions, earlier.instructions);
+    d.cycles = sub(cycles, earlier.cycles);
+    d.branches = sub(branches, earlier.branches);
+    d.branchMisses = sub(branchMisses, earlier.branchMisses);
+    d.dispatches = sub(dispatches, earlier.dispatches);
+    d.dispatchMisses = sub(dispatchMisses, earlier.dispatchMisses);
+    d.loads = sub(loads, earlier.loads);
+    d.stores = sub(stores, earlier.stores);
+    d.l1dAccesses = sub(l1dAccesses, earlier.l1dAccesses);
+    d.l1dMisses = sub(l1dMisses, earlier.l1dMisses);
+    d.l1iAccesses = sub(l1iAccesses, earlier.l1iAccesses);
+    d.l1iMisses = sub(l1iMisses, earlier.l1iMisses);
+    d.l2Misses = sub(l2Misses, earlier.l2Misses);
+    d.llcMisses = sub(llcMisses, earlier.llcMisses);
+    d.allocations = sub(allocations, earlier.allocations);
+    d.allocatedBytes = sub(allocatedBytes, earlier.allocatedBytes);
+    return d;
+}
+
+void
+CounterSet::add(const CounterSet &other)
+{
+    bytecodes += other.bytecodes;
+    instructions += other.instructions;
+    cycles += other.cycles;
+    branches += other.branches;
+    branchMisses += other.branchMisses;
+    dispatches += other.dispatches;
+    dispatchMisses += other.dispatchMisses;
+    loads += other.loads;
+    stores += other.stores;
+    l1dAccesses += other.l1dAccesses;
+    l1dMisses += other.l1dMisses;
+    l1iAccesses += other.l1iAccesses;
+    l1iMisses += other.l1iMisses;
+    l2Misses += other.l2Misses;
+    llcMisses += other.llcMisses;
+    allocations += other.allocations;
+    allocatedBytes += other.allocatedBytes;
+}
+
+} // namespace uarch
+} // namespace rigor

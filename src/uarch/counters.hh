@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Simulated hardware performance counters.
+ *
+ * The counter names mirror what perf_event would expose on real
+ * hardware (instructions, cycles, branches, branch-misses, cache
+ * accesses/misses per level). "Instructions" are modelled micro-ops:
+ * one MiniPy bytecode expands to several micro-ops the way one
+ * CPython bytecode expands to many native instructions.
+ */
+
+#ifndef RIGOR_UARCH_COUNTERS_HH
+#define RIGOR_UARCH_COUNTERS_HH
+
+#include <cstdint>
+
+namespace rigor {
+namespace uarch {
+
+/** A snapshot of simulated performance counters. */
+struct CounterSet
+{
+    uint64_t bytecodes = 0;      ///< VM-level ops retired
+    uint64_t instructions = 0;   ///< modelled native instructions (uops)
+    uint64_t cycles = 0;
+    uint64_t branches = 0;       ///< conditional branches
+    uint64_t branchMisses = 0;
+    uint64_t dispatches = 0;     ///< interpreter indirect dispatches
+    uint64_t dispatchMisses = 0; ///< mispredicted dispatches
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l1iAccesses = 0;
+    uint64_t l1iMisses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t llcMisses = 0;
+    uint64_t allocations = 0;
+    uint64_t allocatedBytes = 0;
+
+    /** Instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Conditional-branch mispredictions per kilo-instruction. */
+    double
+    branchMpki() const
+    {
+        return perKiloInstr(branchMisses + dispatchMisses);
+    }
+
+    /** L1D misses per kilo-instruction. */
+    double
+    l1dMpki() const
+    {
+        return perKiloInstr(l1dMisses);
+    }
+
+    /** L1I misses per kilo-instruction. */
+    double
+    l1iMpki() const
+    {
+        return perKiloInstr(l1iMisses);
+    }
+
+    /** L2 misses per kilo-instruction. */
+    double
+    l2Mpki() const
+    {
+        return perKiloInstr(l2Misses);
+    }
+
+    /** LLC misses per kilo-instruction. */
+    double
+    llcMpki() const
+    {
+        return perKiloInstr(llcMisses);
+    }
+
+    /** Branch misprediction rate over all predicted branches. */
+    double
+    branchMissRate() const
+    {
+        uint64_t total = branches + dispatches;
+        return total ? static_cast<double>(branchMisses +
+                                           dispatchMisses) /
+                static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Element-wise difference (this - other); clamps at zero. */
+    CounterSet diff(const CounterSet &earlier) const;
+
+    /** Element-wise accumulate. */
+    void add(const CounterSet &other);
+
+  private:
+    double
+    perKiloInstr(uint64_t events) const
+    {
+        return instructions ? 1000.0 * static_cast<double>(events) /
+                static_cast<double>(instructions)
+                            : 0.0;
+    }
+};
+
+} // namespace uarch
+} // namespace rigor
+
+#endif // RIGOR_UARCH_COUNTERS_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * MiniPy abstract syntax tree.
+ *
+ * Plain struct hierarchy discriminated by a kind enum; nodes own
+ * their children through unique_ptr. Covers the Python subset MiniPy
+ * implements (see parser.hh for the grammar summary).
+ */
+
+#ifndef RIGOR_VM_AST_HH
+#define RIGOR_VM_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rigor {
+namespace vm {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Binary operator kinds (also used for augmented assignment). */
+enum class BinOp : uint8_t
+{
+    Add, Sub, Mul, Div, FloorDiv, Mod, Pow,
+    BitAnd, BitOr, BitXor, LShift, RShift,
+};
+
+/** Comparison operator kinds. */
+enum class CmpOp : uint8_t
+{
+    Eq, Ne, Lt, Le, Gt, Ge, In, NotIn,
+};
+
+/** Expression node kinds. */
+enum class ExprKind : uint8_t
+{
+    IntLit,
+    FloatLit,
+    StrLit,
+    BoolLit,
+    NoneLit,
+    Name,
+    Unary,        ///< -x, not x, ~x
+    Binary,
+    Compare,
+    BoolChain,    ///< and/or with short-circuit
+    Call,
+    Attribute,
+    Subscript,    ///< a[i]
+    SliceExpr,    ///< a[i:j] / a[i:j:k] (as the index of Subscript)
+    ListLit,
+    TupleLit,
+    DictLit,
+    ListComp,     ///< [value for name in iterable (if cond)?]
+};
+
+/** Unary operator kinds. */
+enum class UnOp : uint8_t { Neg, Not, Invert };
+
+/** One expression node; fields used depend on `kind`. */
+struct Expr
+{
+    ExprKind kind;
+    int line = 0;
+
+    // Literals.
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    std::string strValue;   ///< also Name identifier, Attribute name
+    bool boolValue = false;
+
+    UnOp unOp = UnOp::Neg;
+    BinOp binOp = BinOp::Add;
+    CmpOp cmpOp = CmpOp::Eq;
+    bool isAnd = false;     ///< BoolChain: and (true) / or (false)
+
+    ExprPtr lhs;            ///< Unary operand, Binary/Compare lhs,
+                            ///< Call callee, Attribute/Subscript base
+    ExprPtr rhs;            ///< Binary/Compare rhs, Subscript index
+    /** Call args, BoolChain operands, List/Tuple elements,
+     *  Dict entries interleaved [k0, v0, k1, v1, ...],
+     *  SliceExpr [start, stop, step] (null = omitted),
+     *  ListComp [value, iterable, condition-or-null];
+     *  ListComp's loop variable is in strValue. */
+    std::vector<ExprPtr> items;
+};
+
+/** Statement node kinds. */
+enum class StmtKind : uint8_t
+{
+    ExprStmt,
+    Assign,
+    AugAssign,
+    If,
+    While,
+    For,
+    Break,
+    Continue,
+    Pass,
+    Return,
+    FunctionDef,
+    ClassDef,
+    Global,
+    Del,
+    Try,      ///< body + orelse (the except handler)
+    Raise,    ///< expr = value to raise
+    Assert,   ///< expr = condition, target = optional message
+};
+
+/** One statement node; fields used depend on `kind`. */
+struct Stmt
+{
+    StmtKind kind;
+    int line = 0;
+
+    ExprPtr expr;           ///< ExprStmt value, Assign/AugAssign RHS,
+                            ///< If/While condition, For iterable,
+                            ///< Return value (may be null)
+    ExprPtr target;         ///< Assign/AugAssign/For target
+    BinOp augOp = BinOp::Add;
+
+    std::vector<StmtPtr> body;
+    std::vector<StmtPtr> orelse;   ///< If else-branch
+
+    // FunctionDef / ClassDef.
+    std::string name;
+    std::vector<std::string> params;
+    /** Default-value expressions for the trailing params. */
+    std::vector<ExprPtr> defaults;
+    std::string baseName;   ///< ClassDef base class ("" = none)
+
+    // Global declaration.
+    std::vector<std::string> globalNames;
+};
+
+/** A parsed module: the top-level statement list. */
+struct Module
+{
+    std::vector<StmtPtr> body;
+};
+
+} // namespace vm
+} // namespace rigor
+
+#endif // RIGOR_VM_AST_HH

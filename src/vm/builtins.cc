@@ -1,0 +1,856 @@
+/**
+ * @file
+ * MiniPy builtin functions and builtin-type methods.
+ */
+
+#include "vm/interp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace rigor {
+namespace vm {
+
+namespace {
+
+[[noreturn]] void
+typeError(const std::string &msg)
+{
+    throw VmError("TypeError: " + msg);
+}
+
+int64_t
+toIndex(const Value &v, const char *what)
+{
+    if (v.isInt())
+        return v.asInt();
+    if (v.isBool())
+        return v.asBool() ? 1 : 0;
+    typeError(std::string(what) + " must be an integer, got " +
+              v.typeName());
+}
+
+const std::string &
+strOf(const Value &v, const char *what)
+{
+    if (!v.isObjKind(ObjKind::Str))
+        typeError(std::string(what) + " must be a string, got " +
+                  v.typeName());
+    return static_cast<StrObj *>(v.asObj())->value;
+}
+
+/** Total ordering used by sorted()/list.sort(). */
+bool
+valueLess(const Value &a, const Value &b)
+{
+    auto numeric = [](const Value &v) {
+        return v.isInt() || v.isFloat() || v.isBool();
+    };
+    if (numeric(a) && numeric(b))
+        return a.numeric() < b.numeric();
+    if (a.isObjKind(ObjKind::Str) && b.isObjKind(ObjKind::Str))
+        return static_cast<StrObj *>(a.asObj())->value <
+            static_cast<StrObj *>(b.asObj())->value;
+    if (a.isObjKind(ObjKind::Tuple) && b.isObjKind(ObjKind::Tuple)) {
+        const auto &x = static_cast<TupleObj *>(a.asObj())->items;
+        const auto &y = static_cast<TupleObj *>(b.asObj())->items;
+        for (size_t i = 0; i < std::min(x.size(), y.size()); ++i) {
+            if (valueLess(x[i], y[i]))
+                return true;
+            if (valueLess(y[i], x[i]))
+                return false;
+        }
+        return x.size() < y.size();
+    }
+    typeError("'" + a.typeName() + "' and '" + b.typeName() +
+              "' are not orderable");
+}
+
+/** Materialize any iterable into a vector of values. */
+std::vector<Value>
+iterableToVector(Interp &interp, const Value &v)
+{
+    std::vector<Value> out;
+    if (v.isObjKind(ObjKind::List)) {
+        out = static_cast<ListObj *>(v.asObj())->items;
+        return out;
+    }
+    if (v.isObjKind(ObjKind::Tuple)) {
+        out = static_cast<TupleObj *>(v.asObj())->items;
+        return out;
+    }
+    if (v.isObjKind(ObjKind::Range)) {
+        auto *r = static_cast<RangeObj *>(v.asObj());
+        for (int64_t i = r->start;
+             r->step > 0 ? i < r->stop : i > r->stop; i += r->step)
+            out.push_back(Value::makeInt(i));
+        return out;
+    }
+    if (v.isObjKind(ObjKind::Str)) {
+        for (char c : static_cast<StrObj *>(v.asObj())->value)
+            out.push_back(makeStr(std::string(1, c)));
+        return out;
+    }
+    if (v.isObjKind(ObjKind::Dict)) {
+        for (const auto &e :
+             static_cast<DictObj *>(v.asObj())->entries())
+            if (e.live)
+                out.push_back(e.key);
+        return out;
+    }
+    if (v.isObjKind(ObjKind::Iterator)) {
+        auto *it = static_cast<IteratorObj *>(v.asObj());
+        Value next;
+        while (it->next(next, interp.hashSeed()))
+            out.push_back(next);
+        return out;
+    }
+    typeError("'" + v.typeName() + "' object is not iterable");
+}
+
+// --- Builtin functions ---------------------------------------------------
+
+Value
+bPrint(Interp &interp, std::vector<Value> &args)
+{
+    std::string line;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (i)
+            line += ' ';
+        line += args[i].str();
+    }
+    interp.printLine(line);
+    return Value();
+}
+
+Value
+bLen(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    const Value &v = args[0];
+    if (v.isObjKind(ObjKind::Str))
+        return Value::makeInt(static_cast<int64_t>(
+            static_cast<StrObj *>(v.asObj())->value.size()));
+    if (v.isObjKind(ObjKind::List))
+        return Value::makeInt(static_cast<int64_t>(
+            static_cast<ListObj *>(v.asObj())->items.size()));
+    if (v.isObjKind(ObjKind::Tuple))
+        return Value::makeInt(static_cast<int64_t>(
+            static_cast<TupleObj *>(v.asObj())->items.size()));
+    if (v.isObjKind(ObjKind::Dict))
+        return Value::makeInt(static_cast<int64_t>(
+            static_cast<DictObj *>(v.asObj())->size()));
+    if (v.isObjKind(ObjKind::Range))
+        return Value::makeInt(
+            static_cast<RangeObj *>(v.asObj())->length());
+    typeError("object of type '" + v.typeName() + "' has no len()");
+}
+
+Value
+bRange(Interp &interp, std::vector<Value> &args)
+{
+    int64_t start = 0, stop = 0, step = 1;
+    if (args.size() == 1) {
+        stop = toIndex(args[0], "range() stop");
+    } else if (args.size() == 2) {
+        start = toIndex(args[0], "range() start");
+        stop = toIndex(args[1], "range() stop");
+    } else {
+        start = toIndex(args[0], "range() start");
+        stop = toIndex(args[1], "range() stop");
+        step = toIndex(args[2], "range() step");
+        if (step == 0)
+            throw VmError("range() arg 3 must not be zero");
+    }
+    return Value::makeObj(interp.alloc<RangeObj>(start, stop, step));
+}
+
+Value
+bAbs(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    const Value &v = args[0];
+    if (v.isInt())
+        return Value::makeInt(std::llabs(v.asInt()));
+    if (v.isFloat())
+        return Value::makeFloat(std::fabs(v.asFloat()));
+    if (v.isBool())
+        return Value::makeInt(v.asBool() ? 1 : 0);
+    typeError("bad operand type for abs(): '" + v.typeName() + "'");
+}
+
+Value
+minMaxImpl(Interp &interp, std::vector<Value> &args, bool want_min)
+{
+    std::vector<Value> candidates;
+    if (args.size() == 1)
+        candidates = iterableToVector(interp, args[0]);
+    else
+        candidates = args;
+    if (candidates.empty())
+        throw VmError(std::string(want_min ? "min" : "max") +
+                      "() arg is an empty sequence");
+    Value best = candidates[0];
+    for (size_t i = 1; i < candidates.size(); ++i) {
+        bool better = want_min ? valueLess(candidates[i], best)
+                               : valueLess(best, candidates[i]);
+        if (better)
+            best = candidates[i];
+    }
+    return best;
+}
+
+Value
+bMin(Interp &interp, std::vector<Value> &args)
+{
+    return minMaxImpl(interp, args, true);
+}
+
+Value
+bMax(Interp &interp, std::vector<Value> &args)
+{
+    return minMaxImpl(interp, args, false);
+}
+
+Value
+bInt(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    if (args.empty())
+        return Value::makeInt(0);
+    const Value &v = args[0];
+    if (v.isInt())
+        return v;
+    if (v.isBool())
+        return Value::makeInt(v.asBool() ? 1 : 0);
+    if (v.isFloat())
+        return Value::makeInt(static_cast<int64_t>(v.asFloat()));
+    if (v.isObjKind(ObjKind::Str)) {
+        const std::string &s =
+            static_cast<StrObj *>(v.asObj())->value;
+        try {
+            size_t consumed = 0;
+            std::string trimmed = trim(s);
+            int64_t out = std::stoll(trimmed, &consumed, 10);
+            if (consumed != trimmed.size())
+                throw std::invalid_argument(s);
+            return Value::makeInt(out);
+        } catch (const std::exception &) {
+            throw VmError("invalid literal for int(): '" + s + "'");
+        }
+    }
+    typeError("int() argument must be a number or string");
+}
+
+Value
+bFloat(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    if (args.empty())
+        return Value::makeFloat(0.0);
+    const Value &v = args[0];
+    if (v.isFloat())
+        return v;
+    if (v.isInt())
+        return Value::makeFloat(static_cast<double>(v.asInt()));
+    if (v.isBool())
+        return Value::makeFloat(v.asBool() ? 1.0 : 0.0);
+    if (v.isObjKind(ObjKind::Str)) {
+        const std::string &s =
+            static_cast<StrObj *>(v.asObj())->value;
+        try {
+            size_t consumed = 0;
+            std::string trimmed = trim(s);
+            double out = std::stod(trimmed, &consumed);
+            if (consumed != trimmed.size())
+                throw std::invalid_argument(s);
+            return Value::makeFloat(out);
+        } catch (const std::exception &) {
+            throw VmError("could not convert string to float: '" + s +
+                          "'");
+        }
+    }
+    typeError("float() argument must be a number or string");
+}
+
+Value
+bStr(Interp &interp, std::vector<Value> &args)
+{
+    if (args.empty())
+        return makeStr("");
+    return Value::makeObj(interp.alloc<StrObj>(args[0].str()));
+}
+
+Value
+bBool(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    if (args.empty())
+        return Value::makeBool(false);
+    return Value::makeBool(args[0].truthy());
+}
+
+Value
+bOrd(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    const std::string &s = strOf(args[0], "ord() argument");
+    if (s.size() != 1)
+        typeError("ord() expected a character");
+    return Value::makeInt(static_cast<unsigned char>(s[0]));
+}
+
+Value
+bChr(Interp &interp, std::vector<Value> &args)
+{
+    int64_t c = toIndex(args[0], "chr() argument");
+    if (c < 0 || c > 255)
+        throw VmError("chr() arg not in range(256)");
+    return Value::makeObj(interp.alloc<StrObj>(
+        std::string(1, static_cast<char>(c))));
+}
+
+Value
+bSum(Interp &interp, std::vector<Value> &args)
+{
+    std::vector<Value> items = iterableToVector(interp, args[0]);
+    bool any_float = false;
+    int64_t isum = 0;
+    double fsum = 0.0;
+    for (const auto &v : items) {
+        if (v.isInt() || v.isBool()) {
+            isum += v.isBool() ? (v.asBool() ? 1 : 0) : v.asInt();
+        } else if (v.isFloat()) {
+            any_float = true;
+            fsum += v.asFloat();
+        } else {
+            typeError("unsupported operand type for sum(): '" +
+                      v.typeName() + "'");
+        }
+    }
+    if (args.size() == 2) {
+        const Value &init = args[1];
+        if (init.isFloat()) {
+            any_float = true;
+            fsum += init.asFloat();
+        } else {
+            isum += toIndex(init, "sum() start");
+        }
+    }
+    if (any_float)
+        return Value::makeFloat(fsum + static_cast<double>(isum));
+    return Value::makeInt(isum);
+}
+
+Value
+bIsInstance(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    const Value &obj = args[0];
+    const Value &cls_val = args[1];
+    if (!cls_val.isObjKind(ObjKind::Class))
+        typeError("isinstance() arg 2 must be a class");
+    if (!obj.isObjKind(ObjKind::Instance))
+        return Value::makeBool(false);
+    auto *want = static_cast<ClassObj *>(cls_val.asObj());
+    for (const ClassObj *c =
+             static_cast<InstanceObj *>(obj.asObj())->cls;
+         c; c = c->base) {
+        if (c == want)
+            return Value::makeBool(true);
+    }
+    return Value::makeBool(false);
+}
+
+Value
+bList(Interp &interp, std::vector<Value> &args)
+{
+    ListObj *l = interp.alloc<ListObj>();
+    if (!args.empty())
+        l->items = iterableToVector(interp, args[0]);
+    return Value::makeObj(l);
+}
+
+Value
+bTuple(Interp &interp, std::vector<Value> &args)
+{
+    TupleObj *t = interp.alloc<TupleObj>();
+    if (!args.empty())
+        t->items = iterableToVector(interp, args[0]);
+    return Value::makeObj(t);
+}
+
+Value
+bDict(Interp &interp, std::vector<Value> &args)
+{
+    DictObj *d = interp.alloc<DictObj>(interp.hashSeed());
+    if (!args.empty()) {
+        // dict(list_of_pairs)
+        for (const auto &pair : iterableToVector(interp, args[0])) {
+            if (!pair.isObjKind(ObjKind::Tuple) ||
+                static_cast<TupleObj *>(pair.asObj())->items.size() !=
+                    2)
+                typeError("dict() requires an iterable of pairs");
+            const auto &items =
+                static_cast<TupleObj *>(pair.asObj())->items;
+            d->set(items[0], items[1]);
+        }
+    }
+    return Value::makeObj(d);
+}
+
+Value
+bEnumerate(Interp &interp, std::vector<Value> &args)
+{
+    int64_t start = args.size() == 2
+        ? toIndex(args[1], "enumerate() start")
+        : 0;
+    ListObj *out = interp.alloc<ListObj>();
+    int64_t idx = start;
+    for (auto &v : iterableToVector(interp, args[0])) {
+        TupleObj *pair = interp.alloc<TupleObj>();
+        pair->items.push_back(Value::makeInt(idx++));
+        pair->items.push_back(std::move(v));
+        out->items.push_back(Value::makeObj(pair));
+    }
+    return Value::makeObj(out);
+}
+
+Value
+bZip(Interp &interp, std::vector<Value> &args)
+{
+    std::vector<std::vector<Value>> columns;
+    size_t shortest = SIZE_MAX;
+    for (const auto &arg : args) {
+        columns.push_back(iterableToVector(interp, arg));
+        shortest = std::min(shortest, columns.back().size());
+    }
+    ListObj *out = interp.alloc<ListObj>();
+    if (columns.empty() || shortest == SIZE_MAX)
+        return Value::makeObj(out);
+    for (size_t row = 0; row < shortest; ++row) {
+        TupleObj *tuple = interp.alloc<TupleObj>();
+        for (auto &col : columns)
+            tuple->items.push_back(col[row]);
+        out->items.push_back(Value::makeObj(tuple));
+    }
+    return Value::makeObj(out);
+}
+
+Value
+bTypeName(Interp &interp, std::vector<Value> &args)
+{
+    return Value::makeObj(interp.alloc<StrObj>(args[0].typeName()));
+}
+
+Value
+bSorted(Interp &interp, std::vector<Value> &args)
+{
+    ListObj *l = interp.alloc<ListObj>();
+    l->items = iterableToVector(interp, args[0]);
+    std::stable_sort(l->items.begin(), l->items.end(), valueLess);
+    return Value::makeObj(l);
+}
+
+// --- Builtin-type methods -------------------------------------------------
+
+Value
+mListAppend(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    auto *l = static_cast<ListObj *>(args[0].asObj());
+    l->items.push_back(args[1]);
+    l->simSize = static_cast<uint32_t>(32 + l->items.size() * 8);
+    return Value();
+}
+
+Value
+mListPop(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    auto *l = static_cast<ListObj *>(args[0].asObj());
+    if (l->items.empty())
+        throw VmError("pop from empty list");
+    if (args.size() == 2) {
+        int64_t i = toIndex(args[1], "pop() index");
+        int64_t len = static_cast<int64_t>(l->items.size());
+        if (i < 0)
+            i += len;
+        if (i < 0 || i >= len)
+            throw VmError("pop index out of range");
+        Value out = l->items[static_cast<size_t>(i)];
+        l->items.erase(l->items.begin() + static_cast<ptrdiff_t>(i));
+        return out;
+    }
+    Value out = l->items.back();
+    l->items.pop_back();
+    return out;
+}
+
+Value
+mListExtend(Interp &interp, std::vector<Value> &args)
+{
+    auto *l = static_cast<ListObj *>(args[0].asObj());
+    for (auto &v : iterableToVector(interp, args[1]))
+        l->items.push_back(std::move(v));
+    return Value();
+}
+
+Value
+mListInsert(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    auto *l = static_cast<ListObj *>(args[0].asObj());
+    int64_t i = toIndex(args[1], "insert() index");
+    int64_t len = static_cast<int64_t>(l->items.size());
+    if (i < 0)
+        i += len;
+    i = std::clamp<int64_t>(i, 0, len);
+    l->items.insert(l->items.begin() + static_cast<ptrdiff_t>(i),
+                    args[2]);
+    return Value();
+}
+
+Value
+mListReverse(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    auto *l = static_cast<ListObj *>(args[0].asObj());
+    std::reverse(l->items.begin(), l->items.end());
+    return Value();
+}
+
+Value
+mListSort(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    auto *l = static_cast<ListObj *>(args[0].asObj());
+    std::stable_sort(l->items.begin(), l->items.end(), valueLess);
+    return Value();
+}
+
+Value
+mListIndex(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    auto *l = static_cast<ListObj *>(args[0].asObj());
+    for (size_t i = 0; i < l->items.size(); ++i) {
+        if (l->items[i].equals(args[1]))
+            return Value::makeInt(static_cast<int64_t>(i));
+    }
+    throw VmError("ValueError: " + args[1].repr() + " is not in list");
+}
+
+Value
+mListCount(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    auto *l = static_cast<ListObj *>(args[0].asObj());
+    int64_t n = 0;
+    for (const auto &v : l->items)
+        if (v.equals(args[1]))
+            ++n;
+    return Value::makeInt(n);
+}
+
+Value
+mStrUpper(Interp &interp, std::vector<Value> &args)
+{
+    std::string s = static_cast<StrObj *>(args[0].asObj())->value;
+    for (auto &c : s)
+        c = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(c)));
+    return Value::makeObj(interp.alloc<StrObj>(std::move(s)));
+}
+
+Value
+mStrLower(Interp &interp, std::vector<Value> &args)
+{
+    std::string s = static_cast<StrObj *>(args[0].asObj())->value;
+    for (auto &c : s)
+        c = static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c)));
+    return Value::makeObj(interp.alloc<StrObj>(std::move(s)));
+}
+
+Value
+mStrSplit(Interp &interp, std::vector<Value> &args)
+{
+    const std::string &s =
+        static_cast<StrObj *>(args[0].asObj())->value;
+    ListObj *out = interp.alloc<ListObj>();
+    if (args.size() == 1) {
+        // Split on whitespace runs.
+        size_t i = 0;
+        while (i < s.size()) {
+            while (i < s.size() &&
+                   std::isspace(static_cast<unsigned char>(s[i])))
+                ++i;
+            size_t start = i;
+            while (i < s.size() &&
+                   !std::isspace(static_cast<unsigned char>(s[i])))
+                ++i;
+            if (i > start)
+                out->items.push_back(Value::makeObj(
+                    interp.alloc<StrObj>(s.substr(start, i - start))));
+        }
+    } else {
+        const std::string &sep = strOf(args[1], "split() separator");
+        if (sep.empty())
+            throw VmError("empty separator");
+        size_t start = 0;
+        for (;;) {
+            size_t hit = s.find(sep, start);
+            if (hit == std::string::npos) {
+                out->items.push_back(Value::makeObj(
+                    interp.alloc<StrObj>(s.substr(start))));
+                break;
+            }
+            out->items.push_back(Value::makeObj(
+                interp.alloc<StrObj>(s.substr(start, hit - start))));
+            start = hit + sep.size();
+        }
+    }
+    return Value::makeObj(out);
+}
+
+Value
+mStrJoin(Interp &interp, std::vector<Value> &args)
+{
+    const std::string &sep =
+        static_cast<StrObj *>(args[0].asObj())->value;
+    std::string out;
+    bool first = true;
+    for (const auto &v : iterableToVector(interp, args[1])) {
+        if (!first)
+            out += sep;
+        first = false;
+        out += strOf(v, "join() item");
+    }
+    return Value::makeObj(interp.alloc<StrObj>(std::move(out)));
+}
+
+Value
+mStrStrip(Interp &interp, std::vector<Value> &args)
+{
+    const std::string &s =
+        static_cast<StrObj *>(args[0].asObj())->value;
+    return Value::makeObj(interp.alloc<StrObj>(trim(s)));
+}
+
+Value
+mStrFind(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    const std::string &s =
+        static_cast<StrObj *>(args[0].asObj())->value;
+    const std::string &needle = strOf(args[1], "find() argument");
+    size_t hit = s.find(needle);
+    return Value::makeInt(hit == std::string::npos
+                              ? -1
+                              : static_cast<int64_t>(hit));
+}
+
+Value
+mStrReplace(Interp &interp, std::vector<Value> &args)
+{
+    const std::string &s =
+        static_cast<StrObj *>(args[0].asObj())->value;
+    const std::string &from = strOf(args[1], "replace() old");
+    const std::string &to = strOf(args[2], "replace() new");
+    if (from.empty())
+        throw VmError("replace() old must be non-empty");
+    std::string out;
+    size_t start = 0;
+    for (;;) {
+        size_t hit = s.find(from, start);
+        if (hit == std::string::npos) {
+            out += s.substr(start);
+            break;
+        }
+        out += s.substr(start, hit - start);
+        out += to;
+        start = hit + from.size();
+    }
+    return Value::makeObj(interp.alloc<StrObj>(std::move(out)));
+}
+
+Value
+mStrStartswith(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    const std::string &s =
+        static_cast<StrObj *>(args[0].asObj())->value;
+    return Value::makeBool(
+        startsWith(s, strOf(args[1], "startswith() prefix")));
+}
+
+Value
+mStrEndswith(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    const std::string &s =
+        static_cast<StrObj *>(args[0].asObj())->value;
+    return Value::makeBool(
+        endsWith(s, strOf(args[1], "endswith() suffix")));
+}
+
+Value
+mDictGet(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    auto *d = static_cast<DictObj *>(args[0].asObj());
+    if (const Value *v = d->find(args[1]))
+        return *v;
+    return args.size() == 3 ? args[2] : Value();
+}
+
+Value
+mDictKeys(Interp &interp, std::vector<Value> &args)
+{
+    return Value::makeObj(interp.alloc<IteratorObj>(
+        IteratorObj::Source::DictKeys, args[0]));
+}
+
+Value
+mDictValues(Interp &interp, std::vector<Value> &args)
+{
+    return Value::makeObj(interp.alloc<IteratorObj>(
+        IteratorObj::Source::DictValues, args[0]));
+}
+
+Value
+mDictItems(Interp &interp, std::vector<Value> &args)
+{
+    return Value::makeObj(interp.alloc<IteratorObj>(
+        IteratorObj::Source::DictItems, args[0]));
+}
+
+Value
+mDictClear(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    static_cast<DictObj *>(args[0].asObj())->clear();
+    return Value();
+}
+
+Value
+mDictPop(Interp &interp, std::vector<Value> &args)
+{
+    (void)interp;
+    auto *d = static_cast<DictObj *>(args[0].asObj());
+    if (const Value *v = d->find(args[1])) {
+        Value out = *v;
+        d->erase(args[1]);
+        return out;
+    }
+    if (args.size() == 3)
+        return args[2];
+    throw VmError("KeyError: " + args[1].repr());
+}
+
+struct MethodSpec
+{
+    const char *name;
+    BuiltinObj::Fn fn;
+    int minArgs;  ///< including the receiver
+    int maxArgs;
+};
+
+const MethodSpec kListMethods[] = {
+    {"append", mListAppend, 2, 2},   {"pop", mListPop, 1, 2},
+    {"extend", mListExtend, 2, 2},   {"insert", mListInsert, 3, 3},
+    {"reverse", mListReverse, 1, 1}, {"sort", mListSort, 1, 1},
+    {"index", mListIndex, 2, 2},     {"count", mListCount, 2, 2},
+};
+
+const MethodSpec kStrMethods[] = {
+    {"upper", mStrUpper, 1, 1},
+    {"lower", mStrLower, 1, 1},
+    {"split", mStrSplit, 1, 2},
+    {"join", mStrJoin, 2, 2},
+    {"strip", mStrStrip, 1, 1},
+    {"find", mStrFind, 2, 2},
+    {"replace", mStrReplace, 3, 3},
+    {"startswith", mStrStartswith, 2, 2},
+    {"endswith", mStrEndswith, 2, 2},
+};
+
+const MethodSpec kDictMethods[] = {
+    {"get", mDictGet, 2, 3},       {"keys", mDictKeys, 1, 1},
+    {"values", mDictValues, 1, 1}, {"items", mDictItems, 1, 1},
+    {"clear", mDictClear, 1, 1},   {"pop", mDictPop, 2, 3},
+};
+
+} // namespace
+
+bool
+getBuiltinTypeMethod(Interp &interp, const Value &receiver,
+                     const std::string &name, Value &out)
+{
+    const MethodSpec *table = nullptr;
+    size_t count = 0;
+    if (receiver.isObjKind(ObjKind::List)) {
+        table = kListMethods;
+        count = std::size(kListMethods);
+    } else if (receiver.isObjKind(ObjKind::Str)) {
+        table = kStrMethods;
+        count = std::size(kStrMethods);
+    } else if (receiver.isObjKind(ObjKind::Dict)) {
+        table = kDictMethods;
+        count = std::size(kDictMethods);
+    } else {
+        return false;
+    }
+    for (size_t i = 0; i < count; ++i) {
+        if (name == table[i].name) {
+            BuiltinObj *fn = interp.alloc<BuiltinObj>(
+                name, table[i].fn, table[i].minArgs,
+                table[i].maxArgs);
+            BoundMethodObj *bm = interp.alloc<BoundMethodObj>(
+                receiver, Value::makeObj(fn));
+            out = Value::makeObj(bm);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+installBuiltins(Interp &interp, DictObj &builtins)
+{
+    auto def = [&](const char *name, BuiltinObj::Fn fn, int min_args,
+                   int max_args) {
+        BuiltinObj *obj =
+            interp.alloc<BuiltinObj>(name, fn, min_args, max_args);
+        builtins.set(makeStr(name), Value::makeObj(obj));
+    };
+
+    def("print", bPrint, 0, -1);
+    def("len", bLen, 1, 1);
+    def("range", bRange, 1, 3);
+    def("abs", bAbs, 1, 1);
+    def("min", bMin, 1, -1);
+    def("max", bMax, 1, -1);
+    def("int", bInt, 0, 1);
+    def("float", bFloat, 0, 1);
+    def("str", bStr, 0, 1);
+    def("bool", bBool, 0, 1);
+    def("ord", bOrd, 1, 1);
+    def("chr", bChr, 1, 1);
+    def("sum", bSum, 1, 2);
+    def("isinstance", bIsInstance, 2, 2);
+    def("list", bList, 0, 1);
+    def("tuple", bTuple, 0, 1);
+    def("dict", bDict, 0, 1);
+    def("sorted", bSorted, 1, 1);
+    def("typename", bTypeName, 1, 1);
+    def("enumerate", bEnumerate, 1, 2);
+    def("zip", bZip, 1, -1);
+}
+
+} // namespace vm
+} // namespace rigor

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * MiniPy bytecode compiler: AST -> CodeObject tree.
+ */
+
+#ifndef RIGOR_VM_COMPILER_HH
+#define RIGOR_VM_COMPILER_HH
+
+#include <string>
+
+#include "vm/ast.hh"
+#include "vm/code.hh"
+
+namespace rigor {
+namespace vm {
+
+/** Compile-time error (invalid constructs, bad scoping). */
+class CompileError : public std::exception
+{
+  public:
+    CompileError(std::string msg, int line);
+    const char *what() const noexcept override { return message.c_str(); }
+    int line;
+
+  private:
+    std::string message;
+};
+
+/** Compile a parsed module into a Program. */
+Program compileModule(const Module &module,
+                      const std::string &source_name = "<string>");
+
+/** Convenience: parse + compile in one step. */
+Program compileSource(const std::string &source,
+                      const std::string &source_name = "<string>");
+
+} // namespace vm
+} // namespace rigor
+
+#endif // RIGOR_VM_COMPILER_HH

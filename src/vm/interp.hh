@@ -1,0 +1,264 @@
+/**
+ * @file
+ * The MiniPy virtual machine.
+ *
+ * One Interp instance models one *VM invocation*: it owns the module
+ * globals, the hash-randomization seed, the simulated heap layout
+ * (ASLR-like base offset) and — when the adaptive tier is enabled —
+ * all JIT state (hot counters, quickened code, inline caches). Running
+ * the same Program in a fresh Interp therefore reproduces the
+ * cross-invocation non-determinism the methodology studies.
+ */
+
+#ifndef RIGOR_VM_INTERP_HH
+#define RIGOR_VM_INTERP_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/code.hh"
+#include "vm/observer.hh"
+#include "vm/value.hh"
+
+namespace rigor {
+namespace vm {
+
+/** Which runtime tier executes the program. */
+enum class Tier : uint8_t
+{
+    Interp,    ///< baseline interpreter (CPython-like)
+    Adaptive,  ///< hot-loop quickening tier (PyPy-like warmup model)
+};
+
+/** Name of a tier ("interp" / "adaptive"). */
+const char *tierName(Tier t);
+
+/** Configuration of one VM invocation. */
+struct InterpConfig
+{
+    /** Hash-randomization seed (varies dict layouts per invocation). */
+    uint64_t hashSeed = 0x517cc1b727220a95ULL;
+    /** Seed for the simulated-heap base offset (ASLR model). */
+    uint64_t aslrSeed = 0;
+    /** Runtime tier. */
+    Tier tier = Tier::Interp;
+    /**
+     * Hotness (loop back-edges + function entries) before a code
+     * object is compiled by the adaptive tier.
+     */
+    int jitThreshold = 4000;
+    /**
+     * Cost scale applied to non-quickened opcodes inside compiled
+     * code, modelling the unboxing/inlining a tracing JIT performs
+     * beyond opcode specialization. Expressed as percent (40 = 0.4x).
+     */
+    int compiledCostPercent = 35;
+    /** Modelled micro-op cost of compiling one code object. */
+    uint64_t jitCompileUopsPerInstr = 2500;
+    /**
+     * Modelled micro-op overhead of one interpreter dispatch.
+     * 6 models a switch interpreter; ~4 models threaded code
+     * (computed goto), which saves the bounds check and re-branch.
+     */
+    uint32_t dispatchUops = 6;
+    /** Maximum MiniPy call depth. */
+    int maxCallDepth = 800;
+    /** If true, print() output is appended to Interp::output. */
+    bool captureOutput = true;
+};
+
+/** Dynamic-execution counters maintained by the VM. */
+struct InterpStats
+{
+    uint64_t bytecodes = 0;
+    uint64_t uops = 0;
+    uint64_t allocations = 0;
+    uint64_t allocatedBytes = 0;
+    uint64_t calls = 0;
+    uint64_t guardFailures = 0;
+    uint64_t jitCompiles = 0;
+    uint64_t dictLookups = 0;
+    /** Dynamic count per opcode. */
+    std::array<uint64_t, static_cast<size_t>(Op::NumOpcodes)> perOp{};
+};
+
+/**
+ * The virtual machine. Executes a compiled Program; see file comment
+ * for the invocation model.
+ */
+class Interp
+{
+  public:
+    /**
+     * @param program compiled program (must outlive the Interp).
+     * @param config invocation configuration.
+     * @param observer optional execution observer (may be null).
+     */
+    Interp(const Program &program, InterpConfig config = {},
+           ExecutionObserver *observer = nullptr);
+    ~Interp();
+
+    Interp(const Interp &) = delete;
+    Interp &operator=(const Interp &) = delete;
+
+    /** Execute the module top-level code (defines globals). */
+    void runModule();
+
+    /**
+     * Call a module-level function by name.
+     * @throws VmError if the name is missing or not callable.
+     */
+    Value callGlobal(const std::string &name, std::vector<Value> args);
+
+    /** Call an arbitrary callable value. */
+    Value callValue(const Value &callee, std::vector<Value> args);
+
+    /** The module globals dict. */
+    DictObj &globals() { return *globalsDict; }
+
+    /** Look up a global by name (None + false if missing). */
+    bool getGlobal(const std::string &name, Value &out) const;
+
+    /** Execution statistics so far. */
+    const InterpStats &stats() const { return stats_; }
+
+    /** Captured print() output (when configured). */
+    const std::string &output() const { return outputBuf; }
+    /** Clear captured output. */
+    void clearOutput() { outputBuf.clear(); }
+
+    /** This invocation's configuration. */
+    const InterpConfig &config() const { return cfg; }
+
+    /** Allocate and track a heap object of concrete type T. */
+    template <typename T, typename... Args>
+    T *
+    alloc(Args &&...args)
+    {
+        T *obj = new T(std::forward<Args>(args)...);
+        trackAlloc(obj);
+        return obj;
+    }
+
+    /** Hash seed for dict creation. */
+    uint64_t hashSeed() const { return cfg.hashSeed; }
+
+    /** Append to the print buffer (builtins use this). */
+    void printLine(const std::string &line);
+
+    // -- internals shared with builtins.cc ---------------------------------
+
+    /** Per-code-object runtime state for the adaptive tier. */
+    struct CodeRuntime
+    {
+        uint64_t backedges = 0;
+        bool compiled = false;
+        std::vector<Instr> quickened;
+        /** Inline caches, one per instruction slot. */
+        struct Cache
+        {
+            const void *key = nullptr;  ///< class ptr / dict version
+            Value value;                ///< cached result
+            bool valid = false;
+        };
+        std::vector<Cache> caches;
+    };
+
+  private:
+    friend void installBuiltins(Interp &interp, DictObj &builtins);
+
+    /** An installed try/except handler within a frame. */
+    struct ExceptHandler
+    {
+        size_t handlerPc = 0;
+        size_t stackDepth = 0;  ///< value-stack depth to restore
+    };
+
+    /** One activation record. */
+    struct Frame
+    {
+        const CodeObject *code = nullptr;
+        const std::vector<Instr> *instrs = nullptr;
+        CodeRuntime *runtime = nullptr;
+        std::vector<Value> locals;
+        std::vector<Value> stack;
+        std::vector<ExceptHandler> handlers;
+        DictObj *nameSpace = nullptr;  ///< class-body namespace (or null)
+        size_t pc = 0;
+        uint64_t localsBase = 0;  ///< simulated address of locals area
+    };
+
+    /** Execute a code object to completion; returns its return value. */
+    Value execCode(const CodeObject *code, std::vector<Value> locals,
+                   DictObj *name_space);
+
+    /** Main bytecode evaluation loop over one frame. */
+    Value evalFrame(Frame &frame);
+
+    void trackAlloc(Object *obj);
+
+    /** Resolve attribute access on any value. */
+    Value loadAttr(const Value &obj, const Value &name, Frame &frame,
+                   size_t pc);
+    void storeAttr(const Value &obj, const Value &name,
+                   const Value &val);
+    Value loadSubscr(const Value &obj, const Value &idx);
+    void storeSubscr(const Value &obj, const Value &idx,
+                     const Value &val);
+    void deleteSubscr(const Value &obj, const Value &idx);
+    Value binaryOp(Op op, const Value &a, const Value &b);
+    Value compareOp(Op op, const Value &a, const Value &b);
+    Value makeIterator(const Value &iterable);
+
+    CodeRuntime &runtimeFor(const CodeObject *code);
+    /** Quicken (model-compile) a hot code object. */
+    void jitCompile(const CodeObject *code, CodeRuntime &rt);
+
+    /** Account one executed bytecode to counters and the observer. */
+    void accountBytecode(Op op, uint32_t uops, bool dispatched);
+    void emitBranch(const Frame &frame, size_t pc, bool taken);
+    void emitMem(uint64_t addr, uint32_t size, bool write);
+
+    const Program &prog;
+    InterpConfig cfg;
+    ExecutionObserver *obs;
+    InterpStats stats_;
+
+    DictObj *globalsDict = nullptr;
+    DictObj *builtinsDict = nullptr;
+
+    /** Simulated-heap bump pointer (includes ASLR base). */
+    uint64_t simBrk = 0;
+    int callDepth = 0;
+
+    std::string outputBuf;
+
+    std::unordered_map<uint32_t, std::unique_ptr<CodeRuntime>> codeRt;
+
+    /** Values retained for the lifetime of the interp (e.g. consts). */
+    std::vector<Value> retained;
+};
+
+/** Install the builtin functions into the given namespace dict. */
+void installBuiltins(Interp &interp, DictObj &builtins);
+
+/**
+ * Resolve a builtin-type method (str/list/dict) as a bound method.
+ * @return true and set `out` if the type has such a method.
+ */
+bool getBuiltinTypeMethod(Interp &interp, const Value &receiver,
+                          const std::string &name, Value &out);
+
+/** Base micro-op cost of an opcode (excluding dispatch overhead). */
+uint32_t opBaseUops(Op op);
+
+/** Micro-op overhead of one interpreter dispatch. */
+constexpr uint32_t kDispatchUops = 6;
+
+} // namespace vm
+} // namespace rigor
+
+#endif // RIGOR_VM_INTERP_HH

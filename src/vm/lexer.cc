@@ -1,0 +1,499 @@
+#include "vm/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace rigor {
+namespace vm {
+
+SyntaxError::SyntaxError(std::string msg, int line_, int col_)
+    : line(line_), col(col_),
+      message("SyntaxError: " + std::move(msg) + " (line " +
+              std::to_string(line_) + ", col " + std::to_string(col_) +
+              ")")
+{}
+
+const char *
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::EndOfFile: return "end of file";
+      case Tok::Newline: return "newline";
+      case Tok::Indent: return "indent";
+      case Tok::Dedent: return "dedent";
+      case Tok::Name: return "name";
+      case Tok::IntLit: return "integer";
+      case Tok::FloatLit: return "float";
+      case Tok::StrLit: return "string";
+      case Tok::KwDef: return "'def'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElif: return "'elif'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwIn: return "'in'";
+      case Tok::KwBreak: return "'break'";
+      case Tok::KwContinue: return "'continue'";
+      case Tok::KwPass: return "'pass'";
+      case Tok::KwClass: return "'class'";
+      case Tok::KwGlobal: return "'global'";
+      case Tok::KwAnd: return "'and'";
+      case Tok::KwOr: return "'or'";
+      case Tok::KwNot: return "'not'";
+      case Tok::KwTrue: return "'True'";
+      case Tok::KwFalse: return "'False'";
+      case Tok::KwNone: return "'None'";
+      case Tok::KwDel: return "'del'";
+      case Tok::KwTry: return "'try'";
+      case Tok::KwExcept: return "'except'";
+      case Tok::KwRaise: return "'raise'";
+      case Tok::KwAssert: return "'assert'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::Comma: return "','";
+      case Tok::Colon: return "':'";
+      case Tok::Dot: return "'.'";
+      case Tok::Semicolon: return "';'";
+      case Tok::Assign: return "'='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::DoubleStar: return "'**'";
+      case Tok::Slash: return "'/'";
+      case Tok::DoubleSlash: return "'//'";
+      case Tok::Percent: return "'%'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::LShift: return "'<<'";
+      case Tok::RShift: return "'>>'";
+      case Tok::Tilde: return "'~'";
+      case Tok::Eq: return "'=='";
+      case Tok::Ne: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+      case Tok::PlusAssign: return "'+='";
+      case Tok::MinusAssign: return "'-='";
+      case Tok::StarAssign: return "'*='";
+      case Tok::SlashAssign: return "'/='";
+      case Tok::DoubleSlashAssign: return "'//='";
+      case Tok::PercentAssign: return "'%='";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok> &
+keywordTable()
+{
+    static const std::unordered_map<std::string, Tok> table = {
+        {"def", Tok::KwDef},         {"return", Tok::KwReturn},
+        {"if", Tok::KwIf},           {"elif", Tok::KwElif},
+        {"else", Tok::KwElse},       {"while", Tok::KwWhile},
+        {"for", Tok::KwFor},         {"in", Tok::KwIn},
+        {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+        {"pass", Tok::KwPass},       {"class", Tok::KwClass},
+        {"global", Tok::KwGlobal},   {"and", Tok::KwAnd},
+        {"or", Tok::KwOr},           {"not", Tok::KwNot},
+        {"True", Tok::KwTrue},       {"False", Tok::KwFalse},
+        {"None", Tok::KwNone},       {"del", Tok::KwDel},
+        {"try", Tok::KwTry},         {"except", Tok::KwExcept},
+        {"raise", Tok::KwRaise},     {"assert", Tok::KwAssert},
+    };
+    return table;
+}
+
+/** Stateful scanner over the source buffer. */
+class Scanner
+{
+  public:
+    explicit Scanner(const std::string &src) : s(src) {}
+
+    std::vector<Token>
+    run()
+    {
+        indents.push_back(0);
+        atLineStart = true;
+        while (pos < s.size() || !out.empty()) {
+            if (pos >= s.size())
+                break;
+            if (atLineStart && bracketDepth == 0) {
+                if (handleIndentation())
+                    continue;  // blank/comment line consumed
+            }
+            scanToken();
+        }
+        // Final newline + dedents + EOF.
+        if (out.empty() || out.back().kind != Tok::Newline) {
+            if (!out.empty() && out.back().kind != Tok::Indent &&
+                out.back().kind != Tok::Dedent)
+                emit(Tok::Newline);
+        }
+        while (indents.back() > 0) {
+            indents.pop_back();
+            emit(Tok::Dedent);
+        }
+        emit(Tok::EndOfFile);
+        return std::move(out);
+    }
+
+  private:
+    void
+    emit(Tok kind)
+    {
+        Token t;
+        t.kind = kind;
+        t.line = line;
+        t.col = col;
+        out.push_back(std::move(t));
+    }
+
+    [[noreturn]] void
+    error(const std::string &msg)
+    {
+        throw SyntaxError(msg, line, col);
+    }
+
+    char
+    peek(size_t ahead = 0) const
+    {
+        return pos + ahead < s.size() ? s[pos + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = s[pos++];
+        if (c == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        return c;
+    }
+
+    /**
+     * Measure leading whitespace at a (logical) line start and emit
+     * INDENT/DEDENT. Returns true if the whole line was blank or a
+     * comment and has been consumed.
+     */
+    bool
+    handleIndentation()
+    {
+        size_t scan = pos;
+        int width = 0;
+        while (scan < s.size() && (s[scan] == ' ' || s[scan] == '\t')) {
+            width += s[scan] == '\t' ? 8 - (width % 8) : 1;
+            ++scan;
+        }
+        // Blank line or comment-only line: swallow it entirely.
+        if (scan >= s.size() || s[scan] == '\n' || s[scan] == '#' ||
+            s[scan] == '\r') {
+            while (pos < s.size() && s[pos] != '\n')
+                advance();
+            if (pos < s.size())
+                advance();  // the newline
+            if (pos >= s.size())
+                atLineStart = true;
+            return pos < s.size() || true;
+        }
+        // Consume the measured whitespace for real.
+        while (pos < scan)
+            advance();
+        atLineStart = false;
+
+        if (width > indents.back()) {
+            indents.push_back(width);
+            emit(Tok::Indent);
+        } else {
+            while (width < indents.back()) {
+                indents.pop_back();
+                emit(Tok::Dedent);
+            }
+            if (width != indents.back())
+                error("unindent does not match any outer level");
+        }
+        return false;
+    }
+
+    void
+    scanToken()
+    {
+        char c = peek();
+
+        if (c == '\n') {
+            advance();
+            if (bracketDepth > 0)
+                return;  // implicit line joining
+            emit(Tok::Newline);
+            atLineStart = true;
+            return;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            advance();
+            return;
+        }
+        if (c == '#') {
+            while (pos < s.size() && peek() != '\n')
+                advance();
+            return;
+        }
+        if (c == '\\' && peek(1) == '\n') {
+            advance();
+            advance();
+            return;  // explicit line continuation
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(
+                             peek(1))))) {
+            scanNumber();
+            return;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            scanName();
+            return;
+        }
+        if (c == '"' || c == '\'') {
+            scanString();
+            return;
+        }
+        scanOperator();
+    }
+
+    void
+    scanNumber()
+    {
+        int start_line = line, start_col = col;
+        std::string num;
+        bool is_float = false;
+        // Hex literal.
+        if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+            advance();
+            advance();
+            std::string hex;
+            while (std::isxdigit(static_cast<unsigned char>(peek())))
+                hex += advance();
+            if (hex.empty())
+                error("malformed hex literal");
+            Token t;
+            t.kind = Tok::IntLit;
+            t.intValue = static_cast<int64_t>(
+                std::strtoull(hex.c_str(), nullptr, 16));
+            t.line = start_line;
+            t.col = start_col;
+            out.push_back(std::move(t));
+            return;
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            num += advance();
+        if (peek() == '.' &&
+            peek(1) != '.') {  // avoid treating "1..x" weirdly
+            is_float = true;
+            num += advance();
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                num += advance();
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            size_t save = pos;
+            std::string exp;
+            exp += advance();
+            if (peek() == '+' || peek() == '-')
+                exp += advance();
+            if (std::isdigit(static_cast<unsigned char>(peek()))) {
+                while (std::isdigit(static_cast<unsigned char>(peek())))
+                    exp += advance();
+                num += exp;
+                is_float = true;
+            } else {
+                pos = save;  // not an exponent; rewind (col drift ok)
+            }
+        }
+        Token t;
+        t.line = start_line;
+        t.col = start_col;
+        if (is_float) {
+            t.kind = Tok::FloatLit;
+            t.floatValue = std::strtod(num.c_str(), nullptr);
+        } else {
+            t.kind = Tok::IntLit;
+            t.intValue = std::strtoll(num.c_str(), nullptr, 10);
+        }
+        out.push_back(std::move(t));
+    }
+
+    void
+    scanName()
+    {
+        int start_line = line, start_col = col;
+        std::string name;
+        while (std::isalnum(static_cast<unsigned char>(peek())) ||
+               peek() == '_')
+            name += advance();
+        Token t;
+        t.line = start_line;
+        t.col = start_col;
+        auto it = keywordTable().find(name);
+        if (it != keywordTable().end()) {
+            t.kind = it->second;
+        } else {
+            t.kind = Tok::Name;
+            t.text = std::move(name);
+        }
+        out.push_back(std::move(t));
+    }
+
+    void
+    scanString()
+    {
+        int start_line = line, start_col = col;
+        char quote = advance();
+        std::string text;
+        for (;;) {
+            if (pos >= s.size() || peek() == '\n')
+                error("unterminated string literal");
+            char c = advance();
+            if (c == quote)
+                break;
+            if (c == '\\') {
+                char e = advance();
+                switch (e) {
+                  case 'n': text += '\n'; break;
+                  case 't': text += '\t'; break;
+                  case 'r': text += '\r'; break;
+                  case '\\': text += '\\'; break;
+                  case '\'': text += '\''; break;
+                  case '"': text += '"'; break;
+                  case '0': text += '\0'; break;
+                  default:
+                    text += '\\';
+                    text += e;
+                }
+            } else {
+                text += c;
+            }
+        }
+        Token t;
+        t.kind = Tok::StrLit;
+        t.text = std::move(text);
+        t.line = start_line;
+        t.col = start_col;
+        out.push_back(std::move(t));
+    }
+
+    void
+    scanOperator()
+    {
+        int start_line = line, start_col = col;
+        char c = advance();
+        Tok kind;
+        switch (c) {
+          case '(': kind = Tok::LParen; ++bracketDepth; break;
+          case ')': kind = Tok::RParen; --bracketDepth; break;
+          case '[': kind = Tok::LBracket; ++bracketDepth; break;
+          case ']': kind = Tok::RBracket; --bracketDepth; break;
+          case '{': kind = Tok::LBrace; ++bracketDepth; break;
+          case '}': kind = Tok::RBrace; --bracketDepth; break;
+          case ',': kind = Tok::Comma; break;
+          case ':': kind = Tok::Colon; break;
+          case '.': kind = Tok::Dot; break;
+          case ';': kind = Tok::Semicolon; break;
+          case '~': kind = Tok::Tilde; break;
+          case '+':
+            kind = match('=') ? Tok::PlusAssign : Tok::Plus;
+            break;
+          case '-':
+            kind = match('=') ? Tok::MinusAssign : Tok::Minus;
+            break;
+          case '*':
+            if (match('*'))
+                kind = Tok::DoubleStar;
+            else
+                kind = match('=') ? Tok::StarAssign : Tok::Star;
+            break;
+          case '/':
+            if (match('/')) {
+                kind = match('=') ? Tok::DoubleSlashAssign
+                                  : Tok::DoubleSlash;
+            } else {
+                kind = match('=') ? Tok::SlashAssign : Tok::Slash;
+            }
+            break;
+          case '%':
+            kind = match('=') ? Tok::PercentAssign : Tok::Percent;
+            break;
+          case '&': kind = Tok::Amp; break;
+          case '|': kind = Tok::Pipe; break;
+          case '^': kind = Tok::Caret; break;
+          case '<':
+            if (match('<'))
+                kind = Tok::LShift;
+            else
+                kind = match('=') ? Tok::Le : Tok::Lt;
+            break;
+          case '>':
+            if (match('>'))
+                kind = Tok::RShift;
+            else
+                kind = match('=') ? Tok::Ge : Tok::Gt;
+            break;
+          case '=':
+            kind = match('=') ? Tok::Eq : Tok::Assign;
+            break;
+          case '!':
+            if (!match('='))
+                error("unexpected '!'");
+            kind = Tok::Ne;
+            break;
+          default:
+            error(std::string("unexpected character '") + c + "'");
+        }
+        Token t;
+        t.kind = kind;
+        t.line = start_line;
+        t.col = start_col;
+        out.push_back(std::move(t));
+    }
+
+    bool
+    match(char want)
+    {
+        if (peek() == want) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+    int line = 1;
+    int col = 1;
+    int bracketDepth = 0;
+    bool atLineStart = true;
+    std::vector<int> indents;
+    std::vector<Token> out;
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    Scanner scanner(source);
+    return scanner.run();
+}
+
+} // namespace vm
+} // namespace rigor

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * MiniPy lexer: tokenizes Python-style source with significant
+ * indentation (INDENT/DEDENT tokens, bracket-implicit line joining).
+ */
+
+#ifndef RIGOR_VM_LEXER_HH
+#define RIGOR_VM_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rigor {
+namespace vm {
+
+/** Token kinds produced by the lexer. */
+enum class Tok : uint8_t
+{
+    EndOfFile,
+    Newline,
+    Indent,
+    Dedent,
+    Name,
+    IntLit,
+    FloatLit,
+    StrLit,
+
+    // Keywords.
+    KwDef, KwReturn, KwIf, KwElif, KwElse, KwWhile, KwFor, KwIn,
+    KwBreak, KwContinue, KwPass, KwClass, KwGlobal, KwAnd, KwOr,
+    KwNot, KwTrue, KwFalse, KwNone, KwDel,
+    KwTry, KwExcept, KwRaise, KwAssert,
+
+    // Punctuation / operators.
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Comma, Colon, Dot, Semicolon,
+    Assign,        // =
+    Plus, Minus, Star, DoubleStar, Slash, DoubleSlash, Percent,
+    Amp, Pipe, Caret, LShift, RShift, Tilde,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    PlusAssign, MinusAssign, StarAssign, SlashAssign,
+    DoubleSlashAssign, PercentAssign,
+};
+
+/** Mnemonic for a token kind (for error messages). */
+const char *tokName(Tok t);
+
+/** One lexed token. */
+struct Token
+{
+    Tok kind = Tok::EndOfFile;
+    std::string text;     ///< names, string literal contents
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    int line = 0;
+    int col = 0;
+};
+
+/** Syntax error with location information. */
+class SyntaxError : public std::exception
+{
+  public:
+    SyntaxError(std::string msg, int line, int col);
+    const char *what() const noexcept override { return message.c_str(); }
+    int line;
+    int col;
+
+  private:
+    std::string message;
+};
+
+/**
+ * Tokenize a whole source buffer. Emits a trailing Newline (if the
+ * source doesn't end with one), the pending Dedents, and EndOfFile.
+ * @throws SyntaxError on malformed input.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace vm
+} // namespace rigor
+
+#endif // RIGOR_VM_LEXER_HH

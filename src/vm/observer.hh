@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Execution-event observer interface.
+ *
+ * The interpreter streams dynamic-execution events (bytecodes with
+ * their micro-op cost, conditional branches, simulated memory
+ * accesses, allocations, interpreter dispatches) to an observer. The
+ * microarchitecture model implements this interface to derive cycles,
+ * IPC, branch MPKI and cache MPKI; the instruction-mix profiler
+ * implements it to classify the dynamic bytecode stream.
+ */
+
+#ifndef RIGOR_VM_OBSERVER_HH
+#define RIGOR_VM_OBSERVER_HH
+
+#include <cstdint>
+
+#include "vm/code.hh"
+
+namespace rigor {
+namespace vm {
+
+/**
+ * Observer of the VM's dynamic execution. All callbacks have empty
+ * default implementations so observers override only what they need.
+ */
+class ExecutionObserver
+{
+  public:
+    virtual ~ExecutionObserver() = default;
+
+    /**
+     * One bytecode completed.
+     * @param op the (possibly quickened) opcode.
+     * @param uops micro-ops this bytecode expanded to, including any
+     *        interpreter dispatch overhead.
+     */
+    virtual void
+    onBytecode(Op op, uint32_t uops)
+    {
+        (void)op;
+        (void)uops;
+    }
+
+    /**
+     * Interpreter dispatch: the indirect branch selecting the next
+     * handler. Only emitted by the baseline interpreter tier; the
+     * adaptive tier's compiled code has no dispatch.
+     * @param op the opcode being dispatched to.
+     */
+    virtual void
+    onDispatch(Op op)
+    {
+        (void)op;
+    }
+
+    /**
+     * A conditional branch resolved.
+     * @param site static branch site id (unique per bytecode pc).
+     * @param taken branch outcome.
+     */
+    virtual void
+    onBranch(uint64_t site, bool taken)
+    {
+        (void)site;
+        (void)taken;
+    }
+
+    /**
+     * Instruction fetch for the code implementing this bytecode.
+     * Interpreter tiers fetch from a small shared handler table
+     * (one region per opcode); compiled code fetches from a
+     * per-(code object, pc) region, giving the JIT a much larger
+     * instruction footprint.
+     */
+    virtual void
+    onCodeFetch(uint64_t addr)
+    {
+        (void)addr;
+    }
+
+    /** A simulated data-memory access. */
+    virtual void
+    onMemAccess(uint64_t addr, uint32_t size, bool is_write)
+    {
+        (void)addr;
+        (void)size;
+        (void)is_write;
+    }
+
+    /** A heap object allocated at the simulated address. */
+    virtual void
+    onAlloc(uint64_t addr, uint32_t size)
+    {
+        (void)addr;
+        (void)size;
+    }
+
+    /** Entering a MiniPy function call. */
+    virtual void onCall() {}
+    /** Returning from a MiniPy function call. */
+    virtual void onReturn() {}
+
+    /**
+     * The adaptive tier compiled a code object (modelled compile
+     * pause); `cost_uops` is the modelled compilation work.
+     */
+    virtual void
+    onJitCompile(uint32_t code_id, uint64_t cost_uops)
+    {
+        (void)code_id;
+        (void)cost_uops;
+    }
+
+    /** A specialization guard failed (deoptimization to generic path). */
+    virtual void
+    onGuardFailure(Op op)
+    {
+        (void)op;
+    }
+};
+
+} // namespace vm
+} // namespace rigor
+
+#endif // RIGOR_VM_OBSERVER_HH

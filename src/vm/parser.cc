@@ -1,0 +1,839 @@
+#include "vm/parser.hh"
+
+#include "support/logging.hh"
+#include "vm/lexer.hh"
+
+namespace rigor {
+namespace vm {
+
+namespace {
+
+/** Recursive-descent parser over the token stream. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : toks(std::move(tokens))
+    {}
+
+    Module
+    parseModule()
+    {
+        Module m;
+        skipNewlines();
+        while (!check(Tok::EndOfFile)) {
+            m.body.push_back(parseStatement());
+            skipNewlines();
+        }
+        return m;
+    }
+
+  private:
+    const Token &
+    peek(size_t ahead = 0) const
+    {
+        size_t i = pos + ahead;
+        if (i >= toks.size())
+            i = toks.size() - 1;  // EOF token
+        return toks[i];
+    }
+
+    const Token &
+    advance()
+    {
+        const Token &t = toks[pos];
+        if (pos + 1 < toks.size())
+            ++pos;
+        return t;
+    }
+
+    bool
+    check(Tok kind) const
+    {
+        return peek().kind == kind;
+    }
+
+    bool
+    match(Tok kind)
+    {
+        if (check(kind)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    const Token &
+    expect(Tok kind, const char *context)
+    {
+        if (!check(kind)) {
+            throw SyntaxError(
+                std::string("expected ") + tokName(kind) + " " +
+                    context + ", got " + tokName(peek().kind),
+                peek().line, peek().col);
+        }
+        return advance();
+    }
+
+    void
+    skipNewlines()
+    {
+        while (match(Tok::Newline)) {}
+    }
+
+    [[noreturn]] void
+    error(const std::string &msg)
+    {
+        throw SyntaxError(msg, peek().line, peek().col);
+    }
+
+    ExprPtr
+    makeExpr(ExprKind kind)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = peek().line;
+        return e;
+    }
+
+    // --- Statements ---------------------------------------------------
+
+    StmtPtr
+    parseStatement()
+    {
+        switch (peek().kind) {
+          case Tok::KwIf: return parseIf();
+          case Tok::KwWhile: return parseWhile();
+          case Tok::KwFor: return parseFor();
+          case Tok::KwDef: return parseDef();
+          case Tok::KwClass: return parseClass();
+          case Tok::KwTry: return parseTry();
+          default: {
+            StmtPtr s = parseSimpleStatement();
+            // Allow `a = 1; b = 2` separated by semicolons? Keep the
+            // grammar strict: one simple statement per line.
+            expect(Tok::Newline, "after statement");
+            return s;
+          }
+        }
+    }
+
+    StmtPtr
+    parseSimpleStatement()
+    {
+        int line = peek().line;
+        auto make = [&](StmtKind k) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = k;
+            s->line = line;
+            return s;
+        };
+
+        switch (peek().kind) {
+          case Tok::KwReturn: {
+            advance();
+            auto s = make(StmtKind::Return);
+            if (!check(Tok::Newline))
+                s->expr = parseExprOrTuple();
+            return s;
+          }
+          case Tok::KwBreak:
+            advance();
+            return make(StmtKind::Break);
+          case Tok::KwContinue:
+            advance();
+            return make(StmtKind::Continue);
+          case Tok::KwPass:
+            advance();
+            return make(StmtKind::Pass);
+          case Tok::KwGlobal: {
+            advance();
+            auto s = make(StmtKind::Global);
+            s->globalNames.push_back(
+                expect(Tok::Name, "after 'global'").text);
+            while (match(Tok::Comma))
+                s->globalNames.push_back(
+                    expect(Tok::Name, "in global list").text);
+            return s;
+          }
+          case Tok::KwRaise: {
+            advance();
+            auto s = make(StmtKind::Raise);
+            s->expr = parseExpr();
+            return s;
+          }
+          case Tok::KwAssert: {
+            advance();
+            auto s = make(StmtKind::Assert);
+            s->expr = parseExpr();
+            if (match(Tok::Comma))
+                s->target = parseExpr();
+            return s;
+          }
+          case Tok::KwDel: {
+            advance();
+            auto s = make(StmtKind::Del);
+            s->target = parseExprOrTuple();
+            if (s->target->kind != ExprKind::Subscript)
+                error("del supports only subscript targets");
+            return s;
+          }
+          default:
+            break;
+        }
+
+        // Expression, assignment, or augmented assignment.
+        ExprPtr first = parseExprOrTuple();
+
+        if (check(Tok::Assign)) {
+            advance();
+            auto s = make(StmtKind::Assign);
+            validateTarget(*first);
+            s->target = std::move(first);
+            s->expr = parseExprOrTuple();
+            if (check(Tok::Assign))
+                error("chained assignment is not supported");
+            return s;
+        }
+
+        BinOp aug;
+        if (matchAugOp(aug)) {
+            auto s = make(StmtKind::AugAssign);
+            if (first->kind != ExprKind::Name &&
+                first->kind != ExprKind::Attribute &&
+                first->kind != ExprKind::Subscript)
+                error("invalid augmented-assignment target");
+            s->target = std::move(first);
+            s->augOp = aug;
+            s->expr = parseExprOrTuple();
+            return s;
+        }
+
+        auto s = make(StmtKind::ExprStmt);
+        s->expr = std::move(first);
+        return s;
+    }
+
+    bool
+    matchAugOp(BinOp &op)
+    {
+        switch (peek().kind) {
+          case Tok::PlusAssign: op = BinOp::Add; break;
+          case Tok::MinusAssign: op = BinOp::Sub; break;
+          case Tok::StarAssign: op = BinOp::Mul; break;
+          case Tok::SlashAssign: op = BinOp::Div; break;
+          case Tok::DoubleSlashAssign: op = BinOp::FloorDiv; break;
+          case Tok::PercentAssign: op = BinOp::Mod; break;
+          default:
+            return false;
+        }
+        advance();
+        return true;
+    }
+
+    void
+    validateTarget(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::Name:
+          case ExprKind::Attribute:
+          case ExprKind::Subscript:
+            return;
+          case ExprKind::TupleLit:
+            for (const auto &item : e.items) {
+                if (item->kind != ExprKind::Name)
+                    error("tuple assignment targets must be names");
+            }
+            return;
+          default:
+            error("invalid assignment target");
+        }
+    }
+
+    std::vector<StmtPtr>
+    parseBlock()
+    {
+        expect(Tok::Colon, "before block");
+        expect(Tok::Newline, "after ':'");
+        expect(Tok::Indent, "to start block");
+        std::vector<StmtPtr> body;
+        skipNewlines();
+        while (!check(Tok::Dedent) && !check(Tok::EndOfFile)) {
+            body.push_back(parseStatement());
+            skipNewlines();
+        }
+        expect(Tok::Dedent, "to end block");
+        if (body.empty())
+            error("empty block");
+        return body;
+    }
+
+    StmtPtr
+    parseIf()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::If;
+        s->line = peek().line;
+        advance();  // 'if' / 'elif'
+        s->expr = parseExpr();
+        s->body = parseBlock();
+        if (check(Tok::KwElif)) {
+            s->orelse.push_back(parseIf());
+        } else if (match(Tok::KwElse)) {
+            s->orelse = parseBlock();
+        }
+        return s;
+    }
+
+    StmtPtr
+    parseWhile()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::While;
+        s->line = peek().line;
+        advance();
+        s->expr = parseExpr();
+        s->body = parseBlock();
+        return s;
+    }
+
+    StmtPtr
+    parseFor()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::For;
+        s->line = peek().line;
+        advance();
+        // Target: name or comma-separated names (implicit tuple).
+        auto first = makeExpr(ExprKind::Name);
+        first->strValue = expect(Tok::Name, "after 'for'").text;
+        if (check(Tok::Comma)) {
+            auto tup = makeExpr(ExprKind::TupleLit);
+            tup->items.push_back(std::move(first));
+            while (match(Tok::Comma)) {
+                auto n = makeExpr(ExprKind::Name);
+                n->strValue = expect(Tok::Name, "in for targets").text;
+                tup->items.push_back(std::move(n));
+            }
+            s->target = std::move(tup);
+        } else {
+            s->target = std::move(first);
+        }
+        expect(Tok::KwIn, "in for statement");
+        s->expr = parseExprOrTuple();
+        s->body = parseBlock();
+        return s;
+    }
+
+    StmtPtr
+    parseDef()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::FunctionDef;
+        s->line = peek().line;
+        advance();
+        s->name = expect(Tok::Name, "after 'def'").text;
+        expect(Tok::LParen, "after function name");
+        bool seen_default = false;
+        if (!check(Tok::RParen)) {
+            for (;;) {
+                s->params.push_back(
+                    expect(Tok::Name, "in parameter list").text);
+                if (match(Tok::Assign)) {
+                    seen_default = true;
+                    s->defaults.push_back(parseExpr());
+                } else if (seen_default) {
+                    error("non-default parameter after default");
+                }
+                if (!match(Tok::Comma))
+                    break;
+            }
+        }
+        expect(Tok::RParen, "after parameters");
+        s->body = parseBlock();
+        return s;
+    }
+
+    StmtPtr
+    parseTry()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::Try;
+        s->line = peek().line;
+        advance();  // 'try'
+        s->body = parseBlock();
+        expect(Tok::KwExcept, "after try block");
+        // Optional (ignored) exception-name filter: `except Name:`.
+        if (check(Tok::Name))
+            advance();
+        s->orelse = parseBlock();
+        return s;
+    }
+
+    StmtPtr
+    parseClass()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::ClassDef;
+        s->line = peek().line;
+        advance();
+        s->name = expect(Tok::Name, "after 'class'").text;
+        if (match(Tok::LParen)) {
+            if (!check(Tok::RParen))
+                s->baseName = expect(Tok::Name, "as base class").text;
+            expect(Tok::RParen, "after base class");
+        }
+        s->body = parseBlock();
+        return s;
+    }
+
+    // --- Expressions ----------------------------------------------------
+
+    /** Top-level expression that may be an unparenthesized tuple. */
+    ExprPtr
+    parseExprOrTuple()
+    {
+        ExprPtr first = parseExpr();
+        if (!check(Tok::Comma))
+            return first;
+        auto tup = makeExpr(ExprKind::TupleLit);
+        tup->items.push_back(std::move(first));
+        while (match(Tok::Comma)) {
+            if (check(Tok::Newline) || check(Tok::Assign) ||
+                check(Tok::RParen))
+                break;  // trailing comma
+            tup->items.push_back(parseExpr());
+        }
+        return tup;
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseOr();
+    }
+
+    ExprPtr
+    parseOr()
+    {
+        ExprPtr e = parseAnd();
+        if (!check(Tok::KwOr))
+            return e;
+        auto chain = makeExpr(ExprKind::BoolChain);
+        chain->isAnd = false;
+        chain->items.push_back(std::move(e));
+        while (match(Tok::KwOr))
+            chain->items.push_back(parseAnd());
+        return chain;
+    }
+
+    ExprPtr
+    parseAnd()
+    {
+        ExprPtr e = parseNot();
+        if (!check(Tok::KwAnd))
+            return e;
+        auto chain = makeExpr(ExprKind::BoolChain);
+        chain->isAnd = true;
+        chain->items.push_back(std::move(e));
+        while (match(Tok::KwAnd))
+            chain->items.push_back(parseNot());
+        return chain;
+    }
+
+    ExprPtr
+    parseNot()
+    {
+        if (match(Tok::KwNot)) {
+            auto e = makeExpr(ExprKind::Unary);
+            e->unOp = UnOp::Not;
+            e->lhs = parseNot();
+            return e;
+        }
+        return parseComparison();
+    }
+
+    ExprPtr
+    parseComparison()
+    {
+        ExprPtr lhs = parseBitOr();
+        CmpOp op;
+        if (!matchCmpOp(op))
+            return lhs;
+        auto e = makeExpr(ExprKind::Compare);
+        e->cmpOp = op;
+        e->lhs = std::move(lhs);
+        e->rhs = parseBitOr();
+        // Chained comparisons are rejected for clarity.
+        CmpOp dummy;
+        if (matchCmpOp(dummy))
+            error("chained comparisons are not supported");
+        return e;
+    }
+
+    bool
+    matchCmpOp(CmpOp &op)
+    {
+        switch (peek().kind) {
+          case Tok::Eq: op = CmpOp::Eq; break;
+          case Tok::Ne: op = CmpOp::Ne; break;
+          case Tok::Lt: op = CmpOp::Lt; break;
+          case Tok::Le: op = CmpOp::Le; break;
+          case Tok::Gt: op = CmpOp::Gt; break;
+          case Tok::Ge: op = CmpOp::Ge; break;
+          case Tok::KwIn: op = CmpOp::In; break;
+          case Tok::KwNot:
+            if (peek(1).kind == Tok::KwIn) {
+                advance();
+                advance();
+                op = CmpOp::NotIn;
+                return true;
+            }
+            return false;
+          default:
+            return false;
+        }
+        advance();
+        return true;
+    }
+
+    ExprPtr
+    parseBitOr()
+    {
+        ExprPtr e = parseBitXor();
+        while (check(Tok::Pipe)) {
+            advance();
+            auto b = makeExpr(ExprKind::Binary);
+            b->binOp = BinOp::BitOr;
+            b->lhs = std::move(e);
+            b->rhs = parseBitXor();
+            e = std::move(b);
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseBitXor()
+    {
+        ExprPtr e = parseBitAnd();
+        while (check(Tok::Caret)) {
+            advance();
+            auto b = makeExpr(ExprKind::Binary);
+            b->binOp = BinOp::BitXor;
+            b->lhs = std::move(e);
+            b->rhs = parseBitAnd();
+            e = std::move(b);
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseBitAnd()
+    {
+        ExprPtr e = parseShift();
+        while (check(Tok::Amp)) {
+            advance();
+            auto b = makeExpr(ExprKind::Binary);
+            b->binOp = BinOp::BitAnd;
+            b->lhs = std::move(e);
+            b->rhs = parseShift();
+            e = std::move(b);
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseShift()
+    {
+        ExprPtr e = parseArith();
+        while (check(Tok::LShift) || check(Tok::RShift)) {
+            BinOp op = check(Tok::LShift) ? BinOp::LShift
+                                          : BinOp::RShift;
+            advance();
+            auto b = makeExpr(ExprKind::Binary);
+            b->binOp = op;
+            b->lhs = std::move(e);
+            b->rhs = parseArith();
+            e = std::move(b);
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseArith()
+    {
+        ExprPtr e = parseTerm();
+        while (check(Tok::Plus) || check(Tok::Minus)) {
+            BinOp op = check(Tok::Plus) ? BinOp::Add : BinOp::Sub;
+            advance();
+            auto b = makeExpr(ExprKind::Binary);
+            b->binOp = op;
+            b->lhs = std::move(e);
+            b->rhs = parseTerm();
+            e = std::move(b);
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseTerm()
+    {
+        ExprPtr e = parseFactor();
+        for (;;) {
+            BinOp op;
+            if (check(Tok::Star))
+                op = BinOp::Mul;
+            else if (check(Tok::Slash))
+                op = BinOp::Div;
+            else if (check(Tok::DoubleSlash))
+                op = BinOp::FloorDiv;
+            else if (check(Tok::Percent))
+                op = BinOp::Mod;
+            else
+                break;
+            advance();
+            auto b = makeExpr(ExprKind::Binary);
+            b->binOp = op;
+            b->lhs = std::move(e);
+            b->rhs = parseFactor();
+            e = std::move(b);
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseFactor()
+    {
+        if (check(Tok::Minus)) {
+            advance();
+            auto e = makeExpr(ExprKind::Unary);
+            e->unOp = UnOp::Neg;
+            e->lhs = parseFactor();
+            return e;
+        }
+        if (check(Tok::Plus)) {
+            advance();
+            return parseFactor();
+        }
+        if (check(Tok::Tilde)) {
+            advance();
+            auto e = makeExpr(ExprKind::Unary);
+            e->unOp = UnOp::Invert;
+            e->lhs = parseFactor();
+            return e;
+        }
+        return parsePower();
+    }
+
+    ExprPtr
+    parsePower()
+    {
+        ExprPtr base = parsePostfix();
+        if (check(Tok::DoubleStar)) {
+            advance();
+            auto e = makeExpr(ExprKind::Binary);
+            e->binOp = BinOp::Pow;
+            e->lhs = std::move(base);
+            e->rhs = parseFactor();  // right-associative
+            return e;
+        }
+        return base;
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parseAtom();
+        for (;;) {
+            if (check(Tok::LParen)) {
+                advance();
+                auto call = makeExpr(ExprKind::Call);
+                call->lhs = std::move(e);
+                if (!check(Tok::RParen)) {
+                    for (;;) {
+                        call->items.push_back(parseExpr());
+                        if (!match(Tok::Comma))
+                            break;
+                        if (check(Tok::RParen))
+                            break;  // trailing comma
+                    }
+                }
+                expect(Tok::RParen, "after call arguments");
+                e = std::move(call);
+            } else if (check(Tok::Dot)) {
+                advance();
+                auto attr = makeExpr(ExprKind::Attribute);
+                attr->lhs = std::move(e);
+                attr->strValue =
+                    expect(Tok::Name, "after '.'").text;
+                e = std::move(attr);
+            } else if (check(Tok::LBracket)) {
+                advance();
+                auto sub = makeExpr(ExprKind::Subscript);
+                sub->lhs = std::move(e);
+                sub->rhs = parseSubscriptIndex();
+                expect(Tok::RBracket, "after subscript");
+                e = std::move(sub);
+            } else {
+                break;
+            }
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseSubscriptIndex()
+    {
+        // Possible forms: e, e:e, e:, :e, :, e:e:e ...
+        ExprPtr start;
+        if (!check(Tok::Colon))
+            start = parseExpr();
+        if (!check(Tok::Colon))
+            return start;  // plain index
+        advance();  // ':'
+        auto slice = makeExpr(ExprKind::SliceExpr);
+        slice->items.push_back(std::move(start));  // may be null
+        ExprPtr stop;
+        if (!check(Tok::RBracket) && !check(Tok::Colon))
+            stop = parseExpr();
+        slice->items.push_back(std::move(stop));
+        ExprPtr step;
+        if (match(Tok::Colon)) {
+            if (!check(Tok::RBracket))
+                step = parseExpr();
+        }
+        slice->items.push_back(std::move(step));
+        return slice;
+    }
+
+    ExprPtr
+    parseAtom()
+    {
+        const Token &t = peek();
+        switch (t.kind) {
+          case Tok::IntLit: {
+            auto e = makeExpr(ExprKind::IntLit);
+            e->intValue = t.intValue;
+            advance();
+            return e;
+          }
+          case Tok::FloatLit: {
+            auto e = makeExpr(ExprKind::FloatLit);
+            e->floatValue = t.floatValue;
+            advance();
+            return e;
+          }
+          case Tok::StrLit: {
+            auto e = makeExpr(ExprKind::StrLit);
+            e->strValue = t.text;
+            advance();
+            // Adjacent string literal concatenation.
+            while (check(Tok::StrLit))
+                e->strValue += advance().text;
+            return e;
+          }
+          case Tok::KwTrue:
+          case Tok::KwFalse: {
+            auto e = makeExpr(ExprKind::BoolLit);
+            e->boolValue = t.kind == Tok::KwTrue;
+            advance();
+            return e;
+          }
+          case Tok::KwNone: {
+            advance();
+            return makeExpr(ExprKind::NoneLit);
+          }
+          case Tok::Name: {
+            auto e = makeExpr(ExprKind::Name);
+            e->strValue = t.text;
+            advance();
+            return e;
+          }
+          case Tok::LParen: {
+            advance();
+            if (check(Tok::RParen)) {
+                advance();
+                return makeExpr(ExprKind::TupleLit);  // empty tuple
+            }
+            ExprPtr inner = parseExpr();
+            if (check(Tok::Comma)) {
+                auto tup = makeExpr(ExprKind::TupleLit);
+                tup->items.push_back(std::move(inner));
+                while (match(Tok::Comma)) {
+                    if (check(Tok::RParen))
+                        break;
+                    tup->items.push_back(parseExpr());
+                }
+                inner = std::move(tup);
+            }
+            expect(Tok::RParen, "after parenthesized expression");
+            return inner;
+          }
+          case Tok::LBracket: {
+            advance();
+            auto lst = makeExpr(ExprKind::ListLit);
+            if (!check(Tok::RBracket)) {
+                ExprPtr first = parseExpr();
+                if (check(Tok::KwFor)) {
+                    // List comprehension (single for, optional if).
+                    advance();
+                    auto comp = makeExpr(ExprKind::ListComp);
+                    comp->strValue =
+                        expect(Tok::Name, "in comprehension").text;
+                    expect(Tok::KwIn, "in comprehension");
+                    comp->items.push_back(std::move(first));
+                    comp->items.push_back(parseExpr());
+                    if (match(Tok::KwIf))
+                        comp->items.push_back(parseExpr());
+                    else
+                        comp->items.push_back(nullptr);
+                    expect(Tok::RBracket, "after comprehension");
+                    return comp;
+                }
+                lst->items.push_back(std::move(first));
+                while (match(Tok::Comma)) {
+                    if (check(Tok::RBracket))
+                        break;
+                    lst->items.push_back(parseExpr());
+                }
+            }
+            expect(Tok::RBracket, "after list literal");
+            return lst;
+          }
+          case Tok::LBrace: {
+            advance();
+            auto d = makeExpr(ExprKind::DictLit);
+            if (!check(Tok::RBrace)) {
+                for (;;) {
+                    d->items.push_back(parseExpr());
+                    expect(Tok::Colon, "in dict literal");
+                    d->items.push_back(parseExpr());
+                    if (!match(Tok::Comma))
+                        break;
+                    if (check(Tok::RBrace))
+                        break;
+                }
+            }
+            expect(Tok::RBrace, "after dict literal");
+            return d;
+          }
+          default:
+            error(std::string("unexpected ") + tokName(t.kind));
+        }
+    }
+
+    std::vector<Token> toks;
+    size_t pos = 0;
+};
+
+} // namespace
+
+Module
+parse(const std::string &source)
+{
+    Parser p(tokenize(source));
+    return p.parseModule();
+}
+
+} // namespace vm
+} // namespace rigor

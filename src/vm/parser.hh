@@ -1,0 +1,41 @@
+/**
+ * @file
+ * MiniPy recursive-descent parser.
+ *
+ * Grammar (Python subset):
+ *   module     := stmt* EOF
+ *   stmt       := simple_stmt NEWLINE | compound_stmt
+ *   simple     := expr | assign | augassign | return | break |
+ *                 continue | pass | global | del
+ *   compound   := if | while | for | def | class
+ *   assignment targets: name, attribute, subscript, tuple-of-names
+ *   expr       := or-chains of and-chains of 'not' of comparisons of
+ *                 arithmetic with Python precedence; ** right-assoc
+ *   atoms      := literals, names, (expr), [list], {dict}, calls,
+ *                 attribute access, subscripts with optional slices
+ *
+ * Not supported (kept out deliberately; the workload suite avoids
+ * them): closures/lambda, comprehensions, try/except, with, import,
+ * keyword arguments, *args, decorators, chained comparisons.
+ */
+
+#ifndef RIGOR_VM_PARSER_HH
+#define RIGOR_VM_PARSER_HH
+
+#include <string>
+
+#include "vm/ast.hh"
+
+namespace rigor {
+namespace vm {
+
+/**
+ * Parse MiniPy source text into a Module.
+ * @throws SyntaxError on malformed input.
+ */
+Module parse(const std::string &source);
+
+} // namespace vm
+} // namespace rigor
+
+#endif // RIGOR_VM_PARSER_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Data/string workloads: fasta-style sequence generation, JSON
+ * encoding, string-method churn and hashtable (dict) churn. These
+ * stress string allocation, dict probing and the GC-like refcount
+ * traffic of temporary-object-heavy code.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace rigor {
+namespace workloads {
+
+const char *
+fastaSource()
+{
+    return R"PY(
+IM = 139968
+IA = 3877
+IC = 29573
+
+ALPHABET = 'acgtBDHKMNRSVWY'
+CUM = [0.27, 0.39, 0.66, 0.93, 0.935, 0.94, 0.945, 0.95,
+       0.955, 0.96, 0.965, 0.97, 0.975, 0.98, 1.0]
+
+def run(n):
+    seed = 42
+    parts = []
+    checksum = 0
+    i = 0
+    while i < n:
+        seed = (seed * IA + IC) % IM
+        r = seed / IM
+        k = 0
+        while CUM[k] < r:
+            k += 1
+        c = ALPHABET[k]
+        parts.append(c)
+        checksum += ord(c)
+        i += 1
+    s = ''.join(parts)
+    return len(s) * 1000 + checksum % 1000
+)PY";
+}
+
+const char *
+jsonEncodeSource()
+{
+    return R"PY(
+def encode(value):
+    t = typename(value)
+    if t == 'NoneType':
+        return 'null'
+    if t == 'bool':
+        if value:
+            return 'true'
+        return 'false'
+    if t == 'int' or t == 'float':
+        return str(value)
+    if t == 'str':
+        return '"' + value + '"'
+    if t == 'list':
+        parts = []
+        for item in value:
+            parts.append(encode(item))
+        return '[' + ','.join(parts) + ']'
+    if t == 'dict':
+        parts = []
+        for k, v in value.items():
+            parts.append('"' + k + '":' + encode(v))
+        return '{' + ','.join(parts) + '}'
+    if t == 'Wrapper':
+        return encode(value.value)
+    return '?'
+
+class Wrapper:
+    def __init__(self, value):
+        self.value = value
+
+def make_record(i):
+    rec = {}
+    rec['id'] = i
+    rec['name'] = 'record-' + str(i)
+    rec['score'] = i * 0.5
+    rec['active'] = i % 2 == 0
+    tags = []
+    j = 0
+    while j < 4:
+        tags.append('tag' + str((i + j) % 10))
+        j += 1
+    rec['tags'] = tags
+    inner = {}
+    inner['x'] = i % 17
+    inner['y'] = (i * 31) % 23
+    rec['pos'] = inner
+    return rec
+
+def run(n):
+    total = 0
+    i = 0
+    while i < n:
+        s = encode(make_record(i))
+        total += len(s)
+        i += 1
+    return total
+)PY";
+}
+
+const char *
+stringOpsSource()
+{
+    return R"PY(
+WORDS = ['alpha', 'beta', 'gamma', 'delta', 'epsilon', 'zeta',
+         'eta', 'theta', 'iota', 'kappa']
+
+def run(n):
+    checksum = 0
+    i = 0
+    while i < n:
+        w = WORDS[i % 10]
+        up = w.upper()
+        joined = '-'.join([w, up, str(i)])
+        replaced = joined.replace('-', '_')
+        pieces = replaced.split('_')
+        checksum += len(pieces)
+        rebuilt = ''
+        for p in pieces:
+            rebuilt = rebuilt + p
+        checksum += len(rebuilt)
+        if rebuilt.startswith('alpha'):
+            checksum += 1
+        found = rebuilt.find('A')
+        if found >= 0:
+            checksum += found
+        i += 1
+    return checksum
+)PY";
+}
+
+const char *
+hashtableSource()
+{
+    return R"PY(
+def run(n):
+    d = {}
+    i = 0
+    while i < n:
+        d['key' + str(i)] = i * 3
+        i += 1
+    total = 0
+    i = 0
+    while i < n:
+        total += d['key' + str(i)]
+        i += 1
+    # Delete every third key, then re-probe with get().
+    i = 0
+    while i < n:
+        del d['key' + str(i)]
+        i += 3
+    i = 0
+    while i < n:
+        total += d.get('key' + str(i), -1)
+        i += 1
+    misses = 0
+    i = 0
+    while i < n:
+        if 'key' + str(i) not in d:
+            misses += 1
+        i += 1
+    return total + misses * 7 + len(d)
+)PY";
+}
+
+} // namespace workloads
+} // namespace rigor

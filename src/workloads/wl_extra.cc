@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Extended workloads: scimark-style SOR stencil, a Go-like
+ * random-playout kernel, a backtracking regex matcher, and an
+ * LZ77-style compressor. These widen the suite with 2D-array,
+ * branch-heavy, recursive-matching and sliding-window behaviours.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace rigor {
+namespace workloads {
+
+const char *
+sorSource()
+{
+    return R"PY(
+def build_grid(n):
+    g = []
+    i = 0
+    while i < n:
+        row = []
+        j = 0
+        while j < n:
+            row.append(((i * 7 + j * 13) % 10) * 0.1)
+            j += 1
+        g.append(row)
+        i += 1
+    return g
+
+def sor_sweep(g, n, omega):
+    i = 1
+    while i < n - 1:
+        gi = g[i]
+        gim = g[i - 1]
+        gip = g[i + 1]
+        j = 1
+        while j < n - 1:
+            gi[j] = omega * 0.25 * (gim[j] + gip[j] + gi[j - 1]
+                                    + gi[j + 1]) + (1.0 - omega) * gi[j]
+            j += 1
+        i += 1
+
+def run(n):
+    # n is the grid edge length; 8 relaxation sweeps.
+    g = build_grid(n)
+    sweep = 0
+    while sweep < 8:
+        sor_sweep(g, n, 1.25)
+        sweep += 1
+    total = 0.0
+    i = 0
+    while i < n:
+        row = g[i]
+        j = 0
+        while j < n:
+            total += row[j]
+            j += 1
+        i += 1
+    return int(total * 100000.0)
+)PY";
+}
+
+const char *
+goPlayoutSource()
+{
+    return R"PY(
+EMPTY = 0
+BLACK = 1
+WHITE = 2
+
+IM = 139968
+IA = 3877
+IC = 29573
+
+def neighbors(pos, size):
+    out = []
+    x = pos % size
+    y = pos // size
+    if x > 0:
+        out.append(pos - 1)
+    if x < size - 1:
+        out.append(pos + 1)
+    if y > 0:
+        out.append(pos - size)
+    if y < size - 1:
+        out.append(pos + size)
+    return out
+
+def count_liberties(board, pos, size):
+    # Flood fill of the group at pos, counting empty neighbors.
+    color = board[pos]
+    seen = {}
+    stack = [pos]
+    libs = 0
+    while len(stack) > 0:
+        p = stack.pop()
+        if p in seen:
+            continue
+        seen[p] = True
+        for q in neighbors(p, size):
+            v = board[q]
+            if v == EMPTY:
+                libs += 1
+            elif v == color and q not in seen:
+                stack.append(q)
+    return libs
+
+def run(n):
+    # n playout moves on a 9x9 board with a simple legality rule.
+    size = 9
+    board = [EMPTY] * (size * size)
+    seed = 12345
+    color = BLACK
+    placed = 0
+    captured = 0
+    moves = 0
+    while moves < n:
+        seed = (seed * IA + IC) % IM
+        pos = seed % (size * size)
+        moves += 1
+        if board[pos] != EMPTY:
+            continue
+        board[pos] = color
+        if count_liberties(board, pos, size) == 0:
+            board[pos] = EMPTY       # suicide: retract
+            captured += 1
+        else:
+            placed += 1
+            # Capture any adjacent enemy group left with no liberty.
+            for q in neighbors(pos, size):
+                v = board[q]
+                if v != EMPTY and v != color:
+                    if count_liberties(board, q, size) == 0:
+                        board[q] = EMPTY
+                        captured += 1
+        if color == BLACK:
+            color = WHITE
+        else:
+            color = BLACK
+    stones = 0
+    for v in board:
+        if v != EMPTY:
+            stones += 1
+    return stones * 10000 + placed * 10 + captured
+)PY";
+}
+
+const char *
+regexSource()
+{
+    return R"PY(
+def match_here(pattern, pi, text, ti):
+    # Backtracking matcher for literals, '.', and 'x*'.
+    if pi == len(pattern):
+        return True
+    if pi + 1 < len(pattern) and pattern[pi + 1] == '*':
+        return match_star(pattern[pi], pattern, pi + 2, text, ti)
+    if ti < len(text):
+        c = pattern[pi]
+        if c == '.' or c == text[ti]:
+            return match_here(pattern, pi + 1, text, ti + 1)
+    return False
+
+def match_star(c, pattern, pi, text, ti):
+    # Zero or more of c, then the rest.
+    i = ti
+    while True:
+        if match_here(pattern, pi, text, i):
+            return True
+        if i >= len(text):
+            return False
+        if c != '.' and text[i] != c:
+            return False
+        i += 1
+
+def match(pattern, text):
+    if len(pattern) > 0 and pattern[0] == '^':
+        return match_here(pattern, 1, text, 0)
+    i = 0
+    while True:
+        if match_here(pattern, 0, text, i):
+            return True
+        if i >= len(text):
+            return False
+        i += 1
+
+ALPH = 'abc'
+
+def gen_text(seed, length):
+    parts = []
+    i = 0
+    s = seed
+    while i < length:
+        s = (s * 3877 + 29573) % 139968
+        parts.append(ALPH[s % 3])
+        i += 1
+    return ''.join(parts)
+
+PATTERNS = ['^a.*b$', 'a*b*c', '^abc', 'c.c.c', 'b*a', '^.*cab']
+
+def run(n):
+    hits = 0
+    trial = 0
+    while trial < n:
+        text = gen_text(trial + 1, 24)
+        for p in PATTERNS:
+            if match(p, text):
+                hits += 1
+        trial += 1
+    return hits
+)PY";
+}
+
+const char *
+lzCompressSource()
+{
+    return R"PY(
+def gen_data(n):
+    # Repetitive text with pseudo-random interruptions.
+    parts = []
+    seed = 987
+    words = ['the', 'quick', 'brown', 'fox', 'jumps']
+    i = 0
+    while i < n:
+        seed = (seed * 3877 + 29573) % 139968
+        parts.append(words[seed % 5])
+        if seed % 7 == 0:
+            parts.append(str(seed % 100))
+        i += 1
+    return ' '.join(parts)
+
+def compress(data):
+    # LZ77-style: greedy longest match against a 255-byte window,
+    # digram index accelerates candidate lookup.
+    n = len(data)
+    index = {}
+    out_tokens = 0
+    out_bytes = 0
+    i = 0
+    while i < n:
+        best_len = 0
+        best_dist = 0
+        if i + 1 < n:
+            key = data[i] + data[i + 1]
+            cands = index.get(key, None)
+            if cands != None:
+                for start in cands:
+                    if i - start > 255:
+                        continue
+                    length = 0
+                    while i + length < n and length < 63:
+                        if data[start + length] != data[i + length]:
+                            break
+                        length += 1
+                    if length > best_len:
+                        best_len = length
+                        best_dist = i - start
+        # Update the digram index at this position.
+        if i + 1 < n:
+            key = data[i] + data[i + 1]
+            cands = index.get(key, None)
+            if cands == None:
+                index[key] = [i]
+            else:
+                cands.append(i)
+                if len(cands) > 8:
+                    cands.pop(0)
+        if best_len >= 4:
+            out_tokens += 1
+            out_bytes += 2
+            i += best_len
+        else:
+            out_tokens += 1
+            out_bytes += 1
+            i += 1
+    return out_tokens * 1000000 + out_bytes
+
+def run(n):
+    data = gen_data(n)
+    return compress(data) + len(data)
+)PY";
+}
+
+const char *
+validatorSource()
+{
+    return R"PY(
+def make_token(seed):
+    # Roughly 60% numeric tokens, 40% malformed.
+    s = (seed * 3877 + 29573) % 139968
+    if s % 5 < 3:
+        return str(s % 10000)
+    if s % 5 == 3:
+        return 'x' + str(s % 100)
+    return ''
+
+def to_int(s):
+    try:
+        return int(s)
+    except:
+        return -1
+
+def checked_ratio(a, b):
+    try:
+        return a // b
+    except:
+        return 0
+
+def run(n):
+    good = 0
+    bad = 0
+    ratio_sum = 0
+    i = 0
+    while i < n:
+        token = make_token(i)
+        v = to_int(token)
+        if v >= 0:
+            good += v % 97
+        else:
+            bad += 1
+        ratio_sum += checked_ratio(i, i % 7)
+        i += 1
+    return good * 1000 + bad + ratio_sum % 1000
+)PY";
+}
+
+} // namespace workloads
+} // namespace rigor

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Numeric workloads: nbody, spectral-norm, fannkuch, chaos
+ * (mandelbrot) and the sieve of Eratosthenes. These stress boxed
+ * float/int arithmetic and tight loops — prime JIT territory.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace rigor {
+namespace workloads {
+
+const char *
+nbodySource()
+{
+    return R"PY(
+PI = 3.141592653589793
+SOLAR_MASS = 4.0 * PI * PI
+DAYS_PER_YEAR = 365.24
+
+def make_bodies():
+    bodies = []
+    # [x, y, z, vx, vy, vz, mass]
+    bodies.append([0.0, 0.0, 0.0, 0.0, 0.0, 0.0, SOLAR_MASS])
+    bodies.append([4.84143144246472090, -1.16032004402742839,
+                   -0.103622044471123109, 0.00166007664274403694 * DAYS_PER_YEAR,
+                   0.00769901118419740425 * DAYS_PER_YEAR,
+                   -0.0000690460016972063023 * DAYS_PER_YEAR,
+                   0.000954791938424326609 * SOLAR_MASS])
+    bodies.append([8.34336671824457987, 4.12479856412430479,
+                   -0.403523417114321381, -0.00276742510726862411 * DAYS_PER_YEAR,
+                   0.00499852801234917238 * DAYS_PER_YEAR,
+                   0.0000230417297573763929 * DAYS_PER_YEAR,
+                   0.000285885980666130812 * SOLAR_MASS])
+    bodies.append([12.8943695621391310, -15.1111514016986312,
+                   -0.223307578892655734, 0.00296460137564761618 * DAYS_PER_YEAR,
+                   0.00237847173959480950 * DAYS_PER_YEAR,
+                   -0.0000296589568540237556 * DAYS_PER_YEAR,
+                   0.0000436624404335156298 * SOLAR_MASS])
+    bodies.append([15.3796971148509165, -25.9193146099879641,
+                   0.179258772950371181, 0.00268067772490389322 * DAYS_PER_YEAR,
+                   0.00162824170038242295 * DAYS_PER_YEAR,
+                   -0.0000951592254519715870 * DAYS_PER_YEAR,
+                   0.0000515138902046611451 * SOLAR_MASS])
+    return bodies
+
+def advance(bodies, dt):
+    n = len(bodies)
+    i = 0
+    while i < n:
+        bi = bodies[i]
+        j = i + 1
+        while j < n:
+            bj = bodies[j]
+            dx = bi[0] - bj[0]
+            dy = bi[1] - bj[1]
+            dz = bi[2] - bj[2]
+            d2 = dx * dx + dy * dy + dz * dz
+            mag = dt / (d2 * (d2 ** 0.5))
+            bim = bi[6] * mag
+            bjm = bj[6] * mag
+            bi[3] -= dx * bjm
+            bi[4] -= dy * bjm
+            bi[5] -= dz * bjm
+            bj[3] += dx * bim
+            bj[4] += dy * bim
+            bj[5] += dz * bim
+            j += 1
+        bi[0] += dt * bi[3]
+        bi[1] += dt * bi[4]
+        bi[2] += dt * bi[5]
+        i += 1
+
+def energy(bodies):
+    e = 0.0
+    n = len(bodies)
+    i = 0
+    while i < n:
+        bi = bodies[i]
+        e += 0.5 * bi[6] * (bi[3] * bi[3] + bi[4] * bi[4] + bi[5] * bi[5])
+        j = i + 1
+        while j < n:
+            bj = bodies[j]
+            dx = bi[0] - bj[0]
+            dy = bi[1] - bj[1]
+            dz = bi[2] - bj[2]
+            dist = (dx * dx + dy * dy + dz * dz) ** 0.5
+            e -= bi[6] * bj[6] / dist
+            j += 1
+        i += 1
+    return e
+
+def run(n):
+    bodies = make_bodies()
+    i = 0
+    while i < n:
+        advance(bodies, 0.01)
+        i += 1
+    return int(energy(bodies) * 1000000.0)
+)PY";
+}
+
+const char *
+spectralNormSource()
+{
+    return R"PY(
+def eval_a(i, j):
+    return 1.0 / ((i + j) * (i + j + 1) // 2 + i + 1)
+
+def mult_av(v, out):
+    n = len(v)
+    i = 0
+    while i < n:
+        s = 0.0
+        j = 0
+        while j < n:
+            s += eval_a(i, j) * v[j]
+            j += 1
+        out[i] = s
+        i += 1
+
+def mult_atv(v, out):
+    n = len(v)
+    i = 0
+    while i < n:
+        s = 0.0
+        j = 0
+        while j < n:
+            s += eval_a(j, i) * v[j]
+            j += 1
+        out[i] = s
+        i += 1
+
+def run(n):
+    u = [1.0] * n
+    v = [0.0] * n
+    tmp = [0.0] * n
+    it = 0
+    while it < 4:
+        mult_av(u, tmp)
+        mult_atv(tmp, v)
+        mult_av(v, tmp)
+        mult_atv(tmp, u)
+        it += 1
+    vbv = 0.0
+    vv = 0.0
+    i = 0
+    while i < n:
+        vbv += u[i] * v[i]
+        vv += v[i] * v[i]
+        i += 1
+    return int((vbv / vv) ** 0.5 * 1000000.0)
+)PY";
+}
+
+const char *
+fannkuchSource()
+{
+    return R"PY(
+def run(n):
+    # Returns max_flips * 1000 + (checksum % 1000 adjusted positive).
+    perm1 = list(range(n))
+    count = [0] * n
+    max_flips = 0
+    checksum = 0
+    perm_count = 0
+    r = n
+    while True:
+        while r != 1:
+            count[r - 1] = r
+            r -= 1
+        if perm1[0] != 0 and perm1[n - 1] != n - 1:
+            perm = list(perm1)
+            flips = 0
+            k = perm[0]
+            while k != 0:
+                i = 0
+                j = k
+                while i < j:
+                    t = perm[i]
+                    perm[i] = perm[j]
+                    perm[j] = t
+                    i += 1
+                    j -= 1
+                flips += 1
+                k = perm[0]
+            if flips > max_flips:
+                max_flips = flips
+            if perm_count % 2 == 0:
+                checksum += flips
+            else:
+                checksum -= flips
+        while True:
+            if r == n:
+                q = checksum % 1000
+                if q < 0:
+                    q += 1000
+                return max_flips * 1000 + q
+            perm0 = perm1[0]
+            i = 0
+            while i < r:
+                perm1[i] = perm1[i + 1]
+                i += 1
+            perm1[r] = perm0
+            count[r] -= 1
+            if count[r] > 0:
+                break
+            r += 1
+        perm_count += 1
+)PY";
+}
+
+const char *
+chaosSource()
+{
+    return R"PY(
+def run(n):
+    # Mandelbrot over an n x n grid; returns the inside-count.
+    max_iter = 40
+    inside = 0
+    y = 0
+    while y < n:
+        ci = 2.0 * y / n - 1.0
+        x = 0
+        while x < n:
+            cr = 2.0 * x / n - 1.5
+            zr = 0.0
+            zi = 0.0
+            i = 0
+            escaped = False
+            while i < max_iter:
+                zr2 = zr * zr
+                zi2 = zi * zi
+                if zr2 + zi2 > 4.0:
+                    escaped = True
+                    break
+                zi = 2.0 * zr * zi + ci
+                zr = zr2 - zi2 + cr
+                i += 1
+            if not escaped:
+                inside += 1
+            x += 1
+        y += 1
+    return inside
+)PY";
+}
+
+const char *
+sieveSource()
+{
+    return R"PY(
+def run(n):
+    # Count of primes below n, plus the largest prime found.
+    flags = [True] * n
+    count = 0
+    largest = 0
+    i = 2
+    while i < n:
+        if flags[i]:
+            count += 1
+            largest = i
+            j = i * i
+            while j < n:
+                flags[j] = False
+                j += i
+        i += 1
+    return count * 1000000 + largest
+)PY";
+}
+
+} // namespace workloads
+} // namespace rigor

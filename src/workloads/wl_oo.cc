@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Object-oriented workloads: richards-style scheduler, deltablue-style
+ * constraint propagation, binary trees, n-queens, and a small
+ * raytracer. These stress dynamic dispatch, attribute-dict lookups
+ * and allocation.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace rigor {
+namespace workloads {
+
+const char *
+richardsSource()
+{
+    return R"PY(
+IDLE = 0
+WORKER = 1
+HANDLER = 2
+DEVICE = 3
+
+class Packet:
+    def __init__(self, kind, payload):
+        self.kind = kind
+        self.payload = payload
+        self.link = None
+
+class Task:
+    def __init__(self, ident):
+        self.ident = ident
+        self.queue = []
+        self.work_done = 0
+    def enqueue(self, packet):
+        self.queue.append(packet)
+    def has_work(self):
+        return len(self.queue) > 0
+    def take(self):
+        return self.queue.pop(0)
+    def step(self, sched):
+        return 0
+
+class IdleTask(Task):
+    def __init__(self, ident, count):
+        Task.__init__(self, ident)
+        self.count = count
+        self.control = 1
+    def step(self, sched):
+        self.count -= 1
+        if self.count <= 0:
+            return 0
+        if self.control % 2 == 0:
+            self.control = self.control // 2
+            sched.dispatch(Packet(WORKER, self.control))
+        else:
+            self.control = self.control * 3 + 1
+            sched.dispatch(Packet(HANDLER, self.control))
+        return 1
+
+class WorkerTask(Task):
+    def step(self, sched):
+        if not self.has_work():
+            return 0
+        p = self.take()
+        self.work_done += p.payload % 7
+        sched.dispatch(Packet(DEVICE, p.payload + 1))
+        return 1
+
+class HandlerTask(Task):
+    def step(self, sched):
+        if not self.has_work():
+            return 0
+        p = self.take()
+        self.work_done += 1
+        if p.payload % 3 == 0:
+            sched.dispatch(Packet(WORKER, p.payload // 3))
+        else:
+            sched.dispatch(Packet(DEVICE, p.payload))
+        return 1
+
+class DeviceTask(Task):
+    def step(self, sched):
+        if not self.has_work():
+            return 0
+        p = self.take()
+        self.work_done += p.payload % 5
+        return 1
+
+class Scheduler:
+    def __init__(self, idle_count):
+        self.tasks = []
+        self.tasks.append(IdleTask(IDLE, idle_count))
+        self.tasks.append(WorkerTask(WORKER))
+        self.tasks.append(HandlerTask(HANDLER))
+        self.tasks.append(DeviceTask(DEVICE))
+        self.steps = 0
+    def dispatch(self, packet):
+        self.tasks[packet.kind].enqueue(packet)
+    def schedule(self):
+        busy = True
+        while busy:
+            busy = False
+            for t in self.tasks:
+                if t.step(self):
+                    busy = True
+                    self.steps += 1
+
+def run(n):
+    total = 0
+    sched = Scheduler(n)
+    sched.schedule()
+    for t in sched.tasks:
+        total += t.work_done
+    return total * 1000 + sched.steps % 1000
+)PY";
+}
+
+const char *
+deltablueSource()
+{
+    return R"PY(
+class Variable:
+    def __init__(self, name, value):
+        self.name = name
+        self.value = value
+        self.stay = True
+
+class Constraint:
+    def __init__(self, output):
+        self.output = output
+    def execute(self):
+        pass
+
+class StayConstraint(Constraint):
+    def execute(self):
+        pass
+
+class ScaleConstraint(Constraint):
+    def __init__(self, src, scale, offset, output):
+        Constraint.__init__(self, output)
+        self.src = src
+        self.scale = scale
+        self.offset = offset
+    def execute(self):
+        self.output.value = self.src.value * self.scale.value + self.offset.value
+
+class EqualityConstraint(Constraint):
+    def __init__(self, src, output):
+        Constraint.__init__(self, output)
+        self.src = src
+    def execute(self):
+        self.output.value = self.src.value
+
+class Planner:
+    def __init__(self):
+        self.plan = []
+    def add(self, c):
+        self.plan.append(c)
+    def execute(self):
+        for c in self.plan:
+            c.execute()
+
+def build_chain(n, planner):
+    first = Variable('v0', 1)
+    prev = first
+    i = 1
+    while i <= n:
+        v = Variable('v' + str(i), 0)
+        planner.add(EqualityConstraint(prev, v))
+        prev = v
+        i += 1
+    return first, prev
+
+def build_projection(n, planner):
+    scale = Variable('scale', 10)
+    offset = Variable('offset', 1000)
+    src = Variable('src', 0)
+    dst = None
+    ins = src
+    i = 0
+    while i < n:
+        dst = Variable('d' + str(i), 0)
+        planner.add(ScaleConstraint(ins, scale, offset, dst))
+        ins = dst
+        i += 1
+    return src, dst
+
+def run(n):
+    total = 0
+    planner = Planner()
+    first, last = build_chain(n, planner)
+    src, dst = build_projection(8, planner)
+    trial = 0
+    while trial < 10:
+        first.value = trial
+        src.value = trial % 3
+        planner.execute()
+        total += last.value
+        total += dst.value % 100000
+        trial += 1
+    return total
+)PY";
+}
+
+const char *
+binaryTreesSource()
+{
+    return R"PY(
+class Node:
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+def make_tree(depth):
+    if depth <= 0:
+        return Node(None, None)
+    return Node(make_tree(depth - 1), make_tree(depth - 1))
+
+def check_tree(node):
+    if node.left == None:
+        return 1
+    return 1 + check_tree(node.left) + check_tree(node.right)
+
+def run(n):
+    # n is the maximum tree depth.
+    min_depth = 2
+    total = 0
+    long_lived = make_tree(n)
+    depth = min_depth
+    while depth <= n:
+        iterations = 1 << (n - depth + min_depth)
+        i = 0
+        while i < iterations:
+            total += check_tree(make_tree(depth))
+            i += 1
+        depth += 2
+    total += check_tree(long_lived)
+    return total
+)PY";
+}
+
+const char *
+queensSource()
+{
+    return R"PY(
+def solve(row, n, cols, diag1, diag2):
+    if row == n:
+        return 1
+    count = 0
+    col = 0
+    while col < n:
+        d1 = row - col + n
+        d2 = row + col
+        if cols[col] == 0 and diag1[d1] == 0 and diag2[d2] == 0:
+            cols[col] = 1
+            diag1[d1] = 1
+            diag2[d2] = 1
+            count += solve(row + 1, n, cols, diag1, diag2)
+            cols[col] = 0
+            diag1[d1] = 0
+            diag2[d2] = 0
+        col += 1
+    return count
+
+def run(n):
+    cols = [0] * n
+    diag1 = [0] * (2 * n + 1)
+    diag2 = [0] * (2 * n + 1)
+    return solve(0, n, cols, diag1, diag2)
+)PY";
+}
+
+const char *
+raytraceSource()
+{
+    return R"PY(
+class Vec:
+    def __init__(self, x, y, z):
+        self.x = x
+        self.y = y
+        self.z = z
+    def add(self, o):
+        return Vec(self.x + o.x, self.y + o.y, self.z + o.z)
+    def sub(self, o):
+        return Vec(self.x - o.x, self.y - o.y, self.z - o.z)
+    def scale(self, k):
+        return Vec(self.x * k, self.y * k, self.z * k)
+    def dot(self, o):
+        return self.x * o.x + self.y * o.y + self.z * o.z
+
+class Sphere:
+    def __init__(self, center, radius, brightness):
+        self.center = center
+        self.radius = radius
+        self.brightness = brightness
+    def intersect(self, origin, direction):
+        oc = origin.sub(self.center)
+        b = 2.0 * oc.dot(direction)
+        c = oc.dot(oc) - self.radius * self.radius
+        disc = b * b - 4.0 * c
+        if disc < 0.0:
+            return -1.0
+        root = disc ** 0.5
+        t = (-b - root) / 2.0
+        if t > 0.001:
+            return t
+        t = (-b + root) / 2.0
+        if t > 0.001:
+            return t
+        return -1.0
+
+def run(n):
+    # n is the image width/height in pixels.
+    spheres = []
+    spheres.append(Sphere(Vec(0.0, 0.0, -3.0), 1.0, 10))
+    spheres.append(Sphere(Vec(1.5, 0.5, -4.0), 1.0, 6))
+    spheres.append(Sphere(Vec(-1.5, -0.5, -2.5), 0.5, 3))
+    origin = Vec(0.0, 0.0, 0.0)
+    hits = 0
+    glow = 0
+    y = 0
+    while y < n:
+        x = 0
+        while x < n:
+            dx = (x - n / 2.0) / n
+            dy = (y - n / 2.0) / n
+            d = Vec(dx, dy, -1.0)
+            inv = 1.0 / (d.dot(d) ** 0.5)
+            d = d.scale(inv)
+            best = -1.0
+            bright = 0
+            for s in spheres:
+                t = s.intersect(origin, d)
+                if t > 0.0:
+                    if best < 0.0 or t < best:
+                        best = t
+                        bright = s.brightness
+            if best > 0.0:
+                hits += 1
+                glow += bright
+            x += 1
+        y += 1
+    return hits * 100 + glow % 100
+)PY";
+}
+
+} // namespace workloads
+} // namespace rigor

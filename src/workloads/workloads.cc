@@ -1,0 +1,92 @@
+#include "workloads/workloads.hh"
+
+#include "support/logging.hh"
+
+namespace rigor {
+namespace workloads {
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::ObjectOriented: return "object-oriented";
+      case Category::Numeric: return "numeric";
+      case Category::DataStructure: return "data-structure";
+      case Category::Strings: return "strings";
+    }
+    return "?";
+}
+
+const std::vector<WorkloadSpec> &
+suite()
+{
+    static const std::vector<WorkloadSpec> specs = [] {
+        std::vector<WorkloadSpec> s;
+        auto add = [&s](const char *name, const char *desc,
+                        Category cat, const char *src,
+                        int64_t def_size, int64_t test_size) {
+            WorkloadSpec w;
+            w.name = name;
+            w.description = desc;
+            w.category = cat;
+            w.source = src;
+            w.defaultSize = def_size;
+            w.testSize = test_size;
+            s.push_back(std::move(w));
+        };
+
+        add("richards", "task-scheduler with polymorphic dispatch",
+            Category::ObjectOriented, richardsSource(), 120, 12);
+        add("deltablue", "one-way constraint propagation chains",
+            Category::ObjectOriented, deltablueSource(), 60, 8);
+        add("binary_trees", "allocate/walk perfect binary trees",
+            Category::ObjectOriented, binaryTreesSource(), 7, 4);
+        add("queens", "n-queens backtracking search",
+            Category::ObjectOriented, queensSource(), 7, 5);
+        add("raytrace", "sphere-intersection ray casting",
+            Category::ObjectOriented, raytraceSource(), 24, 8);
+        add("nbody", "planetary n-body float simulation",
+            Category::Numeric, nbodySource(), 120, 10);
+        add("spectral_norm", "power-iteration spectral norm",
+            Category::Numeric, spectralNormSource(), 26, 8);
+        add("fannkuch", "pancake-flip permutation kernel",
+            Category::Numeric, fannkuchSource(), 7, 5);
+        add("chaos", "mandelbrot escape-time iteration",
+            Category::Numeric, chaosSource(), 28, 8);
+        add("sieve", "sieve of Eratosthenes",
+            Category::Numeric, sieveSource(), 6000, 100);
+        add("fasta", "weighted random sequence generation",
+            Category::Strings, fastaSource(), 3000, 100);
+        add("json_encode", "recursive JSON serialization",
+            Category::Strings, jsonEncodeSource(), 60, 6);
+        add("string_ops", "string method churn",
+            Category::Strings, stringOpsSource(), 400, 20);
+        add("hashtable", "dict insert/lookup/delete churn",
+            Category::DataStructure, hashtableSource(), 700, 40);
+        add("scimark_sor", "successive over-relaxation 2D stencil",
+            Category::Numeric, sorSource(), 26, 8);
+        add("go_playout", "random go playout with liberty counting",
+            Category::DataStructure, goPlayoutSource(), 180, 25);
+        add("regex", "backtracking regular-expression matching",
+            Category::Strings, regexSource(), 60, 8);
+        add("lz_compress", "LZ77-style sliding-window compression",
+            Category::DataStructure, lzCompressSource(), 260, 25);
+        add("validator", "token parsing with exception-based errors",
+            Category::Strings, validatorSource(), 900, 50);
+        return s;
+    }();
+    return specs;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : suite()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace workloads
+} // namespace rigor

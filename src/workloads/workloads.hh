@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The MiniPy benchmark suite.
+ *
+ * Nineteen workloads mirroring the classic Python benchmark families
+ * (richards, deltablue, nbody, fannkuch, spectral-norm, binary-trees,
+ * fasta, chaos, sieve, raytrace, queens, json, strings, hashtable).
+ * Each workload is a MiniPy module with an entry function
+ * `run(n) -> int|float` returning a deterministic checksum, so
+ * correctness can be asserted across tiers and invocations.
+ */
+
+#ifndef RIGOR_WORKLOADS_WORKLOADS_HH
+#define RIGOR_WORKLOADS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rigor {
+namespace workloads {
+
+/** Broad workload category (used in suite characterization). */
+enum class Category : uint8_t
+{
+    ObjectOriented,
+    Numeric,
+    DataStructure,
+    Strings,
+};
+
+/** Name of a Category. */
+const char *categoryName(Category c);
+
+/** One benchmark in the suite. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::string description;
+    Category category = Category::Numeric;
+    /** MiniPy module source; defines `run(n)`. */
+    std::string source;
+    /** Entry-function argument for full experiment runs. */
+    int64_t defaultSize = 0;
+    /** Smaller argument for unit tests / smoke runs. */
+    int64_t testSize = 0;
+};
+
+/** The full benchmark suite, in canonical order. */
+const std::vector<WorkloadSpec> &suite();
+
+/**
+ * Find a workload by name.
+ * @throws FatalError if the name is unknown.
+ */
+const WorkloadSpec &findWorkload(const std::string &name);
+
+// Source accessors (one per workload; defined across wl_*.cc files).
+const char *richardsSource();
+const char *deltablueSource();
+const char *binaryTreesSource();
+const char *queensSource();
+const char *raytraceSource();
+const char *nbodySource();
+const char *spectralNormSource();
+const char *fannkuchSource();
+const char *chaosSource();
+const char *sieveSource();
+const char *fastaSource();
+const char *jsonEncodeSource();
+const char *stringOpsSource();
+const char *hashtableSource();
+const char *sorSource();
+const char *goPlayoutSource();
+const char *regexSource();
+const char *lzCompressSource();
+const char *validatorSource();
+
+} // namespace workloads
+} // namespace rigor
+
+#endif // RIGOR_WORKLOADS_WORKLOADS_HH

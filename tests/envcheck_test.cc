@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Environment-check tests: every parser is driven with synthetic
+ * file contents covering good, bad and unreadable states; the live
+ * collector must degrade gracefully in containers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/envcheck.hh"
+
+namespace rigor {
+namespace harness {
+namespace {
+
+TEST(EnvCheck, GovernorStates)
+{
+    EXPECT_EQ(checkGovernor("performance\n").severity,
+              EnvSeverity::Info);
+    auto bad = checkGovernor("powersave\n");
+    EXPECT_EQ(bad.severity, EnvSeverity::Warning);
+    EXPECT_NE(bad.detail.find("powersave"), std::string::npos);
+    EXPECT_EQ(checkGovernor("").severity, EnvSeverity::Unknown);
+    EXPECT_EQ(checkGovernor("ondemand").severity,
+              EnvSeverity::Warning);
+}
+
+TEST(EnvCheck, LoadAverageThresholds)
+{
+    // 0.2 load on 8 CPUs: fine.
+    EXPECT_EQ(checkLoadAverage("0.20 0.18 0.22 1/300 1234\n", 8)
+                  .severity,
+              EnvSeverity::Info);
+    // 6.0 load on 8 CPUs: 0.75/cpu -> warning.
+    EXPECT_EQ(checkLoadAverage("6.00 5.0 4.0 2/300 99\n", 8)
+                  .severity,
+              EnvSeverity::Warning);
+    EXPECT_EQ(checkLoadAverage("", 8).severity,
+              EnvSeverity::Unknown);
+    EXPECT_EQ(checkLoadAverage("garbage", 8).severity,
+              EnvSeverity::Unknown);
+    // Zero CPU count falls back to absolute load.
+    EXPECT_EQ(checkLoadAverage("0.9 0 0 1/1 1\n", 0).severity,
+              EnvSeverity::Warning);
+}
+
+TEST(EnvCheck, AslrIsInformational)
+{
+    EXPECT_EQ(checkAslr("2\n").severity, EnvSeverity::Info);
+    EXPECT_EQ(checkAslr("0\n").severity, EnvSeverity::Info);
+    EXPECT_EQ(checkAslr("").severity, EnvSeverity::Unknown);
+    EXPECT_NE(checkAslr("2\n").detail.find("multiple"),
+              std::string::npos);
+}
+
+TEST(EnvCheck, SmtStates)
+{
+    EXPECT_EQ(checkSmt("off\n").severity, EnvSeverity::Info);
+    EXPECT_EQ(checkSmt("notsupported\n").severity,
+              EnvSeverity::Info);
+    EXPECT_EQ(checkSmt("on\n").severity, EnvSeverity::Warning);
+    EXPECT_EQ(checkSmt("").severity, EnvSeverity::Unknown);
+}
+
+TEST(EnvCheck, TurboStates)
+{
+    EXPECT_EQ(checkTurbo("1\n").severity, EnvSeverity::Info);
+    EXPECT_EQ(checkTurbo("0\n").severity, EnvSeverity::Warning);
+    EXPECT_EQ(checkTurbo("").severity, EnvSeverity::Unknown);
+}
+
+TEST(EnvCheck, ReportAggregation)
+{
+    EnvReport report;
+    report.findings.push_back(checkGovernor("powersave"));
+    report.findings.push_back(checkSmt("on"));
+    report.findings.push_back(checkTurbo("1"));
+    EXPECT_EQ(report.warningCount(), 2);
+    std::string rendered = report.render();
+    EXPECT_NE(rendered.find("WARN"), std::string::npos);
+    EXPECT_NE(rendered.find("cpu-governor"), std::string::npos);
+    EXPECT_NE(rendered.find("ok"), std::string::npos);
+}
+
+TEST(EnvCheck, LiveCollectionNeverThrows)
+{
+    EnvReport report = collectEnvironment();
+    EXPECT_EQ(report.findings.size(), 5u);
+    for (const auto &f : report.findings)
+        EXPECT_FALSE(f.check.empty());
+}
+
+} // namespace
+} // namespace harness
+} // namespace rigor

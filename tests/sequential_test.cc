@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Sequential-stopping design tests: convergence, budget caps,
+ * extension determinism (extending a run equals asking for more
+ * invocations upfront), and parameter validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/sequential.hh"
+#include "support/logging.hh"
+
+namespace rigor {
+namespace harness {
+namespace {
+
+RunnerConfig
+baseConfig()
+{
+    RunnerConfig cfg;
+    cfg.iterations = 10;
+    cfg.tier = vm::Tier::Interp;
+    cfg.seed = 0x123;
+    cfg.size = workloads::findWorkload("sieve").testSize;
+    return cfg;
+}
+
+TEST(Sequential, ConvergesOnLowNoiseWorkload)
+{
+    SequentialConfig seq;
+    seq.targetRelativeHalfWidth = 0.05;
+    seq.maxInvocations = 40;
+    auto res = runSequential("sieve", baseConfig(), seq);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.invocationsUsed, 40);
+    EXPECT_GE(res.invocationsUsed, seq.minInvocations);
+    EXPECT_LE(res.estimate.ci.relativeHalfWidth(), 0.05);
+    EXPECT_EQ(res.run.invocations.size(),
+              static_cast<size_t>(res.invocationsUsed));
+}
+
+TEST(Sequential, BudgetCapRespected)
+{
+    SequentialConfig seq;
+    seq.targetRelativeHalfWidth = 1e-6;  // unreachable
+    seq.minInvocations = 3;
+    seq.maxInvocations = 7;
+    auto res = runSequential("sieve", baseConfig(), seq);
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.invocationsUsed, 7);
+}
+
+TEST(Sequential, WidthTrajectoryShrinks)
+{
+    SequentialConfig seq;
+    seq.targetRelativeHalfWidth = 0.01;
+    seq.maxInvocations = 30;
+    auto res = runSequential("sieve", baseConfig(), seq);
+    ASSERT_GE(res.widthTrajectory.size(), 2u);
+    EXPECT_LT(res.widthTrajectory.back(),
+              res.widthTrajectory.front());
+}
+
+TEST(Sequential, InvalidConfigsRejected)
+{
+    SequentialConfig seq;
+    seq.minInvocations = 1;
+    EXPECT_THROW(runSequential("sieve", baseConfig(), seq),
+                 FatalError);
+    seq.minInvocations = 5;
+    seq.maxInvocations = 3;
+    EXPECT_THROW(runSequential("sieve", baseConfig(), seq),
+                 FatalError);
+    seq = {};
+    seq.batchSize = 0;
+    EXPECT_THROW(runSequential("sieve", baseConfig(), seq),
+                 FatalError);
+}
+
+TEST(ExtendExperiment, MatchesUpfrontRun)
+{
+    const auto &spec = workloads::findWorkload("queens");
+    RunnerConfig cfg = baseConfig();
+    cfg.size = spec.testSize;
+    cfg.invocations = 6;
+    RunResult upfront = runExperiment(spec, cfg);
+
+    cfg.invocations = 2;
+    RunResult grown = runExperiment(spec, cfg);
+    extendExperiment(spec, cfg, grown, 4);
+
+    ASSERT_EQ(upfront.invocations.size(), grown.invocations.size());
+    for (size_t i = 0; i < upfront.invocations.size(); ++i) {
+        EXPECT_EQ(upfront.invocations[i].invocationSeed,
+                  grown.invocations[i].invocationSeed);
+        auto a = upfront.invocations[i].times();
+        auto b = grown.invocations[i].times();
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t j = 0; j < a.size(); ++j)
+            EXPECT_DOUBLE_EQ(a[j], b[j]) << i << "," << j;
+    }
+}
+
+} // namespace
+} // namespace harness
+} // namespace rigor

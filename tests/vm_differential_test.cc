@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Differential (fuzz) tests: random MiniPy programs are generated and
+ * simultaneously evaluated by a C++ oracle; the VM must agree on
+ * every run, on both tiers. Covers integer arithmetic expression
+ * trees and random list-operation sequences against std::vector.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hh"
+#include "vm/compiler.hh"
+#include "vm/interp.hh"
+
+namespace rigor {
+namespace vm {
+namespace {
+
+/** Generates random integer expressions with a parallel evaluator. */
+class ExprFuzzer
+{
+  public:
+    explicit ExprFuzzer(uint64_t seed) : rng(seed) {}
+
+    /**
+     * Produce a random expression over variables a..d. Writes the
+     * source into `src` and returns the oracle's value given the
+     * variable bindings. Division/modulo by zero is avoided by
+     * construction (divisors are non-zero literals).
+     */
+    int64_t
+    generate(std::string &src, const int64_t vars[4], int depth)
+    {
+        if (depth <= 0 || rng.nextBernoulli(0.3)) {
+            if (rng.nextBernoulli(0.5)) {
+                int v = static_cast<int>(rng.nextBounded(4));
+                src += static_cast<char>('a' + v);
+                return vars[v];
+            }
+            int64_t lit = rng.nextRange(-50, 50);
+            src += "(" + std::to_string(lit) + ")";
+            return lit;
+        }
+        // Binary operator.
+        int op = static_cast<int>(rng.nextBounded(6));
+        src += "(";
+        int64_t lhs = generate(src, vars, depth - 1);
+        int64_t rhs = 0;
+        switch (op) {
+          case 0:
+            src += " + ";
+            rhs = generate(src, vars, depth - 1);
+            src += ")";
+            return wrapAdd(lhs, rhs);
+          case 1:
+            src += " - ";
+            rhs = generate(src, vars, depth - 1);
+            src += ")";
+            return wrapSub(lhs, rhs);
+          case 2:
+            src += " * ";
+            rhs = generate(src, vars, depth - 1);
+            src += ")";
+            return wrapMul(lhs, rhs);
+          case 3: {  // floor division by a non-zero literal
+            int64_t d = rng.nextRange(1, 9) *
+                (rng.nextBernoulli(0.5) ? 1 : -1);
+            src += " // (" + std::to_string(d) + "))";
+            return pyFloorDiv(lhs, d);
+          }
+          case 4: {  // modulo by a non-zero literal
+            int64_t d = rng.nextRange(1, 9) *
+                (rng.nextBernoulli(0.5) ? 1 : -1);
+            src += " % (" + std::to_string(d) + "))";
+            return pyMod(lhs, d);
+          }
+          default: {  // bitwise and/or/xor
+            src += op % 3 == 0 ? " & " : (op % 3 == 1 ? " | "
+                                                      : " ^ ");
+            rhs = generate(src, vars, depth - 1);
+            src += ")";
+            if (op % 3 == 0)
+                return lhs & rhs;
+            if (op % 3 == 1)
+                return lhs | rhs;
+            return lhs ^ rhs;
+          }
+        }
+    }
+
+    Rng rng;
+
+  private:
+    static int64_t
+    wrapAdd(int64_t a, int64_t b)
+    {
+        return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                    static_cast<uint64_t>(b));
+    }
+    static int64_t
+    wrapSub(int64_t a, int64_t b)
+    {
+        return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                    static_cast<uint64_t>(b));
+    }
+    static int64_t
+    wrapMul(int64_t a, int64_t b)
+    {
+        return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                    static_cast<uint64_t>(b));
+    }
+    static int64_t
+    pyFloorDiv(int64_t a, int64_t b)
+    {
+        int64_t q = a / b;
+        if (a % b != 0 && ((a < 0) != (b < 0)))
+            --q;
+        return q;
+    }
+    static int64_t
+    pyMod(int64_t a, int64_t b)
+    {
+        int64_t r = a % b;
+        if (r != 0 && ((r < 0) != (b < 0)))
+            r += b;
+        return r;
+    }
+};
+
+class ExprDifferential : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ExprDifferential, RandomIntExpressionsMatchOracle)
+{
+    ExprFuzzer fuzz(GetParam());
+    for (int trial = 0; trial < 25; ++trial) {
+        int64_t vars[4];
+        for (auto &v : vars)
+            v = fuzz.rng.nextRange(-100, 100);
+        std::string expr;
+        int64_t expected = fuzz.generate(expr, vars, 4);
+
+        std::string src = "def run(a, b, c, d):\n    return " +
+            expr + "\n";
+        Program prog = compileSource(src);
+        for (Tier tier : {Tier::Interp, Tier::Adaptive}) {
+            InterpConfig cfg;
+            cfg.tier = tier;
+            cfg.jitThreshold = 1;
+            Interp interp(prog, cfg);
+            interp.runModule();
+            Value r = interp.callGlobal(
+                "run",
+                {Value::makeInt(vars[0]), Value::makeInt(vars[1]),
+                 Value::makeInt(vars[2]), Value::makeInt(vars[3])});
+            ASSERT_TRUE(r.isInt()) << src;
+            EXPECT_EQ(r.asInt(), expected)
+                << src << " tier=" << tierName(tier);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprDifferential,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class ListDifferential : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ListDifferential, RandomListOpsMatchVectorOracle)
+{
+    Rng rng(GetParam() * 7919);
+    // Build a random op sequence against both a MiniPy list and a
+    // std::vector oracle, then compare the end state element-wise.
+    std::vector<int64_t> oracle;
+    std::string body;
+    body += "def run(n):\n    l = []\n";
+    for (int step = 0; step < 60; ++step) {
+        int op = static_cast<int>(rng.nextBounded(6));
+        if (oracle.empty())
+            op = 0;  // must append first
+        switch (op) {
+          case 0: {
+            int64_t v = rng.nextRange(-99, 99);
+            body += "    l.append(" + std::to_string(v) + ")\n";
+            oracle.push_back(v);
+            break;
+          }
+          case 1: {
+            body += "    l.pop()\n";
+            oracle.pop_back();
+            break;
+          }
+          case 2: {
+            size_t i = rng.nextBounded(oracle.size());
+            int64_t v = rng.nextRange(-99, 99);
+            body += "    l[" + std::to_string(i) + "] = " +
+                std::to_string(v) + "\n";
+            oracle[i] = v;
+            break;
+          }
+          case 3: {
+            size_t i = rng.nextBounded(oracle.size());
+            int64_t v = rng.nextRange(1, 9);
+            body += "    l[" + std::to_string(i) + "] += " +
+                std::to_string(v) + "\n";
+            oracle[i] += v;
+            break;
+          }
+          case 4: {
+            body += "    l.reverse()\n";
+            std::reverse(oracle.begin(), oracle.end());
+            break;
+          }
+          case 5: {
+            size_t i = rng.nextBounded(oracle.size() + 1);
+            int64_t v = rng.nextRange(-99, 99);
+            body += "    l.insert(" + std::to_string(i) + ", " +
+                std::to_string(v) + ")\n";
+            oracle.insert(oracle.begin() +
+                              static_cast<ptrdiff_t>(i),
+                          v);
+            break;
+          }
+        }
+    }
+    body += "    return l\n";
+
+    Program prog = compileSource(body);
+    Interp interp(prog, {});
+    interp.runModule();
+    Value result = interp.callGlobal("run", {Value::makeInt(0)});
+    ASSERT_TRUE(result.isObjKind(ObjKind::List));
+    auto &items = static_cast<ListObj *>(result.asObj())->items;
+    ASSERT_EQ(items.size(), oracle.size());
+    for (size_t i = 0; i < oracle.size(); ++i) {
+        ASSERT_TRUE(items[i].isInt());
+        EXPECT_EQ(items[i].asInt(), oracle[i]) << "index " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListDifferential,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+class DictDifferential : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DictDifferential, RandomDictOpsMatchMapOracle)
+{
+    Rng rng(GetParam() * 104729);
+    std::map<int64_t, int64_t> oracle;
+    std::string body = "def run(n):\n    d = {}\n";
+    for (int step = 0; step < 80; ++step) {
+        int64_t key = rng.nextRange(0, 25);
+        int op = static_cast<int>(rng.nextBounded(3));
+        if (op == 0 || oracle.find(key) == oracle.end()) {
+            int64_t v = rng.nextRange(-99, 99);
+            body += "    d[" + std::to_string(key) + "] = " +
+                std::to_string(v) + "\n";
+            oracle[key] = v;
+        } else if (op == 1) {
+            body += "    del d[" + std::to_string(key) + "]\n";
+            oracle.erase(key);
+        } else {
+            body += "    d[" + std::to_string(key) + "] += 1\n";
+            ++oracle[key];
+        }
+    }
+    // Compare via a deterministic checksum: sum of key*1000 + value.
+    body += "    total = 0\n"
+            "    for k, v in d.items():\n"
+            "        total += k * 1000 + v\n"
+            "    return total * 100 + len(d)\n";
+    int64_t expected = 0;
+    for (const auto &[k, v] : oracle)
+        expected += k * 1000 + v;
+    expected = expected * 100 + static_cast<int64_t>(oracle.size());
+
+    // Run under three different hash seeds: the checksum must not
+    // depend on hash randomization.
+    for (uint64_t hs : {1ULL, 77ULL, 0xffffULL}) {
+        Program prog = compileSource(body);
+        InterpConfig cfg;
+        cfg.hashSeed = hs;
+        Interp interp(prog, cfg);
+        interp.runModule();
+        Value r = interp.callGlobal("run", {Value::makeInt(0)});
+        ASSERT_TRUE(r.isInt());
+        EXPECT_EQ(r.asInt(), expected) << "hashSeed=" << hs;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DictDifferential,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+} // namespace
+} // namespace vm
+} // namespace rigor

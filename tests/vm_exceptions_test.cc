@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Exception-handling tests: try/except control flow, raise and
+ * assert statements, unwinding across frames, stack restoration,
+ * nested handlers, and interaction with loops and the adaptive tier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/compiler.hh"
+#include "vm/interp.hh"
+
+namespace rigor {
+namespace vm {
+namespace {
+
+std::unique_ptr<Interp>
+run(const std::string &src, InterpConfig cfg = {})
+{
+    static std::vector<std::unique_ptr<Program>> keep_alive;
+    keep_alive.push_back(
+        std::make_unique<Program>(compileSource(src)));
+    auto interp = std::make_unique<Interp>(*keep_alive.back(), cfg);
+    interp->runModule();
+    return interp;
+}
+
+int64_t
+globalInt(Interp &in, const std::string &name)
+{
+    Value v;
+    EXPECT_TRUE(in.getGlobal(name, v)) << "missing global " << name;
+    return v.isInt() ? v.asInt() : -999;
+}
+
+TEST(Exceptions, BasicTryExcept)
+{
+    auto in = run("x = 0\n"
+                  "try:\n"
+                  "    x = 1\n"
+                  "    raise 'boom'\n"
+                  "    x = 2\n"
+                  "except:\n"
+                  "    x = x + 10\n");
+    EXPECT_EQ(globalInt(*in, "x"), 11);
+}
+
+TEST(Exceptions, NoExceptionSkipsHandler)
+{
+    auto in = run("x = 0\n"
+                  "try:\n"
+                  "    x = 1\n"
+                  "except:\n"
+                  "    x = 99\n");
+    EXPECT_EQ(globalInt(*in, "x"), 1);
+}
+
+TEST(Exceptions, RuntimeErrorsAreCatchable)
+{
+    auto in = run("def probe(fn):\n"
+                  "    try:\n"
+                  "        fn()\n"
+                  "        return 0\n"
+                  "    except:\n"
+                  "        return 1\n"
+                  "def div():\n"
+                  "    return 1 // 0\n"
+                  "def key():\n"
+                  "    return {}['missing']\n"
+                  "def idx():\n"
+                  "    return [1][5]\n"
+                  "def attr():\n"
+                  "    return (1).missing\n"
+                  "a = probe(div)\n"
+                  "b = probe(key)\n"
+                  "c = probe(idx)\n");
+    EXPECT_EQ(globalInt(*in, "a"), 1);
+    EXPECT_EQ(globalInt(*in, "b"), 1);
+    EXPECT_EQ(globalInt(*in, "c"), 1);
+}
+
+TEST(Exceptions, PropagatesAcrossFrames)
+{
+    auto in = run("def deep(n):\n"
+                  "    if n == 0:\n"
+                  "        raise 'bottom'\n"
+                  "    return deep(n - 1)\n"
+                  "result = 0\n"
+                  "try:\n"
+                  "    deep(10)\n"
+                  "    result = 1\n"
+                  "except:\n"
+                  "    result = 2\n");
+    EXPECT_EQ(globalInt(*in, "result"), 2);
+}
+
+TEST(Exceptions, UncaughtEscapesToHost)
+{
+    EXPECT_THROW(run("raise 'kaboom'\n"), VmError);
+    try {
+        run("raise 'specific message'\n");
+        FAIL() << "expected VmError";
+    } catch (const VmError &e) {
+        EXPECT_NE(std::string(e.what()).find("specific message"),
+                  std::string::npos);
+    }
+}
+
+TEST(Exceptions, NestedHandlersInnermostWins)
+{
+    auto in = run("x = 0\n"
+                  "try:\n"
+                  "    try:\n"
+                  "        raise 'inner'\n"
+                  "    except:\n"
+                  "        x = 1\n"
+                  "    x = x + 10\n"
+                  "except:\n"
+                  "    x = 100\n");
+    // Inner handler catches; outer never fires; code continues.
+    EXPECT_EQ(globalInt(*in, "x"), 11);
+}
+
+TEST(Exceptions, RethrowFromHandlerHitsOuter)
+{
+    auto in = run("x = 0\n"
+                  "try:\n"
+                  "    try:\n"
+                  "        raise 'first'\n"
+                  "    except:\n"
+                  "        raise 'second'\n"
+                  "except:\n"
+                  "    x = 42\n");
+    EXPECT_EQ(globalInt(*in, "x"), 42);
+}
+
+TEST(Exceptions, StackRestoredAfterUnwind)
+{
+    // The raise happens mid-expression with operands on the stack;
+    // the handler and subsequent code must see a clean stack.
+    auto in = run("def boom():\n"
+                  "    raise 'x'\n"
+                  "total = 0\n"
+                  "try:\n"
+                  "    total = 1 + 2 * boom() + 4\n"
+                  "except:\n"
+                  "    total = 7\n"
+                  "total = total + 100\n");
+    EXPECT_EQ(globalInt(*in, "total"), 107);
+}
+
+TEST(Exceptions, LoopInsideTryWorks)
+{
+    auto in = run("hits = 0\n"
+                  "try:\n"
+                  "    for i in range(10):\n"
+                  "        hits += 1\n"
+                  "except:\n"
+                  "    hits = -1\n");
+    EXPECT_EQ(globalInt(*in, "hits"), 10);
+}
+
+TEST(Exceptions, TryInsideLoopEachIteration)
+{
+    auto in = run("caught = 0\n"
+                  "for i in range(10):\n"
+                  "    try:\n"
+                  "        if i % 3 == 0:\n"
+                  "            raise 'mod3'\n"
+                  "    except:\n"
+                  "        caught += 1\n");
+    EXPECT_EQ(globalInt(*in, "caught"), 4);  // i = 0, 3, 6, 9
+}
+
+TEST(Exceptions, BreakOutOfTryRejected)
+{
+    EXPECT_THROW(run("for i in range(3):\n"
+                     "    try:\n"
+                     "        break\n"
+                     "    except:\n"
+                     "        pass\n"),
+                 CompileError);
+    EXPECT_THROW(run("for i in range(3):\n"
+                     "    try:\n"
+                     "        continue\n"
+                     "    except:\n"
+                     "        pass\n"),
+                 CompileError);
+}
+
+TEST(Exceptions, BreakInLoopInsideTryAllowed)
+{
+    // The loop is entirely within the try: break stays inside it.
+    auto in = run("x = 0\n"
+                  "try:\n"
+                  "    for i in range(10):\n"
+                  "        if i == 3:\n"
+                  "            break\n"
+                  "        x += 1\n"
+                  "except:\n"
+                  "    x = -1\n");
+    EXPECT_EQ(globalInt(*in, "x"), 3);
+}
+
+TEST(Exceptions, ReturnInsideTryExitsFunction)
+{
+    auto in = run("def f():\n"
+                  "    try:\n"
+                  "        return 7\n"
+                  "    except:\n"
+                  "        return -1\n"
+                  "x = f()\n");
+    EXPECT_EQ(globalInt(*in, "x"), 7);
+}
+
+TEST(Exceptions, ExceptNameFilterParsedAndIgnored)
+{
+    auto in = run("x = 0\n"
+                  "try:\n"
+                  "    raise 'oops'\n"
+                  "except ValueError:\n"
+                  "    x = 5\n");
+    EXPECT_EQ(globalInt(*in, "x"), 5);
+}
+
+TEST(Exceptions, AssertPassesAndFails)
+{
+    auto in = run("assert 1 + 1 == 2\n"
+                  "ok = 1\n");
+    EXPECT_EQ(globalInt(*in, "ok"), 1);
+
+    EXPECT_THROW(run("assert False\n"), VmError);
+    try {
+        run("assert 1 == 2, 'math is broken'\n");
+        FAIL() << "expected VmError";
+    } catch (const VmError &e) {
+        EXPECT_NE(std::string(e.what()).find("math is broken"),
+                  std::string::npos);
+    }
+}
+
+TEST(Exceptions, AssertInsideTryCatchable)
+{
+    auto in = run("x = 0\n"
+                  "try:\n"
+                  "    assert False, 'nope'\n"
+                  "except:\n"
+                  "    x = 3\n");
+    EXPECT_EQ(globalInt(*in, "x"), 3);
+}
+
+TEST(Exceptions, WorksOnAdaptiveTier)
+{
+    std::string src = "def run(n):\n"
+                      "    caught = 0\n"
+                      "    for i in range(n):\n"
+                      "        try:\n"
+                      "            if i % 5 == 0:\n"
+                      "                raise 'ping'\n"
+                      "            caught += 0\n"
+                      "        except:\n"
+                      "            caught += 1\n"
+                      "    return caught\n";
+    for (int threshold : {1, 1000000}) {
+        InterpConfig cfg;
+        cfg.tier = Tier::Adaptive;
+        cfg.jitThreshold = threshold;
+        auto in = run(src, cfg);
+        Value r = in->callGlobal("run", {Value::makeInt(100)});
+        EXPECT_EQ(r.asInt(), 20) << "threshold=" << threshold;
+    }
+}
+
+TEST(Exceptions, HandlerStateDoesNotLeakAcrossCalls)
+{
+    // A function that installs and pops handlers cleanly; calling it
+    // repeatedly must not accumulate state (each frame is fresh).
+    auto in = run("def f(i):\n"
+                  "    try:\n"
+                  "        if i == 1:\n"
+                  "            raise 'x'\n"
+                  "        return 0\n"
+                  "    except:\n"
+                  "        return 1\n"
+                  "a = f(0)\n"
+                  "b = f(1)\n"
+                  "c = f(0)\n");
+    EXPECT_EQ(globalInt(*in, "a"), 0);
+    EXPECT_EQ(globalInt(*in, "b"), 1);
+    EXPECT_EQ(globalInt(*in, "c"), 0);
+}
+
+} // namespace
+} // namespace vm
+} // namespace rigor

@@ -1,0 +1,697 @@
+/**
+ * @file
+ * End-to-end interpreter tests: compile MiniPy source, run it, and
+ * check results via globals, captured output, or returned values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/compiler.hh"
+#include "vm/interp.hh"
+
+namespace rigor {
+namespace vm {
+namespace {
+
+/** Run source and return the interp for inspection. */
+std::unique_ptr<Interp>
+run(const std::string &src, InterpConfig cfg = {})
+{
+    static std::vector<std::unique_ptr<Program>> keep_alive;
+    keep_alive.push_back(
+        std::make_unique<Program>(compileSource(src)));
+    auto interp =
+        std::make_unique<Interp>(*keep_alive.back(), cfg);
+    interp->runModule();
+    return interp;
+}
+
+int64_t
+globalInt(Interp &in, const std::string &name)
+{
+    Value v;
+    EXPECT_TRUE(in.getGlobal(name, v)) << "missing global " << name;
+    EXPECT_TRUE(v.isInt()) << name << " is " << v.typeName();
+    return v.isInt() ? v.asInt() : 0;
+}
+
+double
+globalFloat(Interp &in, const std::string &name)
+{
+    Value v;
+    EXPECT_TRUE(in.getGlobal(name, v));
+    EXPECT_TRUE(v.isFloat());
+    return v.isFloat() ? v.asFloat() : 0.0;
+}
+
+std::string
+globalStr(Interp &in, const std::string &name)
+{
+    Value v;
+    EXPECT_TRUE(in.getGlobal(name, v));
+    return v.str();
+}
+
+TEST(InterpBasics, Arithmetic)
+{
+    auto in = run("x = 2 + 3 * 4\n"
+                  "y = (2 + 3) * 4\n"
+                  "z = 7 // 2\n"
+                  "w = 7 % 3\n"
+                  "v = 2 ** 10\n");
+    EXPECT_EQ(globalInt(*in, "x"), 14);
+    EXPECT_EQ(globalInt(*in, "y"), 20);
+    EXPECT_EQ(globalInt(*in, "z"), 3);
+    EXPECT_EQ(globalInt(*in, "w"), 1);
+    EXPECT_EQ(globalInt(*in, "v"), 1024);
+}
+
+TEST(InterpBasics, NegativeFloorDivModFollowPython)
+{
+    auto in = run("a = -7 // 2\n"
+                  "b = -7 % 2\n"
+                  "c = 7 // -2\n"
+                  "d = 7 % -2\n");
+    EXPECT_EQ(globalInt(*in, "a"), -4);
+    EXPECT_EQ(globalInt(*in, "b"), 1);
+    EXPECT_EQ(globalInt(*in, "c"), -4);
+    EXPECT_EQ(globalInt(*in, "d"), -1);
+}
+
+TEST(InterpBasics, TrueDivisionProducesFloat)
+{
+    auto in = run("x = 7 / 2\n");
+    EXPECT_DOUBLE_EQ(globalFloat(*in, "x"), 3.5);
+}
+
+TEST(InterpBasics, FloatArithmetic)
+{
+    auto in = run("x = 0.5 + 0.25\n"
+                  "y = 2.0 ** -1\n"
+                  "z = 7.5 % 2.0\n");
+    EXPECT_DOUBLE_EQ(globalFloat(*in, "x"), 0.75);
+    EXPECT_DOUBLE_EQ(globalFloat(*in, "y"), 0.5);
+    EXPECT_DOUBLE_EQ(globalFloat(*in, "z"), 1.5);
+}
+
+TEST(InterpBasics, BitwiseOps)
+{
+    auto in = run("a = 12 & 10\n"
+                  "b = 12 | 10\n"
+                  "c = 12 ^ 10\n"
+                  "d = 1 << 10\n"
+                  "e = 1024 >> 3\n"
+                  "f = ~5\n");
+    EXPECT_EQ(globalInt(*in, "a"), 8);
+    EXPECT_EQ(globalInt(*in, "b"), 14);
+    EXPECT_EQ(globalInt(*in, "c"), 6);
+    EXPECT_EQ(globalInt(*in, "d"), 1024);
+    EXPECT_EQ(globalInt(*in, "e"), 128);
+    EXPECT_EQ(globalInt(*in, "f"), -6);
+}
+
+TEST(InterpBasics, StringOps)
+{
+    auto in = run("s = 'abc' + 'def'\n"
+                  "t = 'ab' * 3\n"
+                  "u = s[2]\n"
+                  "v = s[-1]\n"
+                  "w = len(s)\n");
+    EXPECT_EQ(globalStr(*in, "s"), "abcdef");
+    EXPECT_EQ(globalStr(*in, "t"), "ababab");
+    EXPECT_EQ(globalStr(*in, "u"), "c");
+    EXPECT_EQ(globalStr(*in, "v"), "f");
+    EXPECT_EQ(globalInt(*in, "w"), 6);
+}
+
+TEST(InterpBasics, StringFormatting)
+{
+    auto in = run("s = 'x=%d y=%s' % (42, 'hi')\n");
+    EXPECT_EQ(globalStr(*in, "s"), "x=42 y=hi");
+}
+
+TEST(InterpBasics, Slicing)
+{
+    auto in = run("s = 'abcdef'\n"
+                  "a = s[1:4]\n"
+                  "b = s[:3]\n"
+                  "c = s[3:]\n"
+                  "d = s[::2]\n"
+                  "e = s[::-1]\n"
+                  "l = [1, 2, 3, 4, 5]\n"
+                  "f = l[1:3]\n"
+                  "g = l[-2:]\n");
+    EXPECT_EQ(globalStr(*in, "a"), "bcd");
+    EXPECT_EQ(globalStr(*in, "b"), "abc");
+    EXPECT_EQ(globalStr(*in, "c"), "def");
+    EXPECT_EQ(globalStr(*in, "d"), "ace");
+    EXPECT_EQ(globalStr(*in, "e"), "fedcba");
+    Value f;
+    ASSERT_TRUE(in->getGlobal("f", f));
+    EXPECT_EQ(f.repr(), "[2, 3]");
+    Value g;
+    ASSERT_TRUE(in->getGlobal("g", g));
+    EXPECT_EQ(g.repr(), "[4, 5]");
+}
+
+TEST(InterpBasics, BoolLogicShortCircuit)
+{
+    auto in = run("def boom():\n"
+                  "    return 1 // 0\n"
+                  "a = False and boom()\n"
+                  "b = True or boom()\n"
+                  "c = 1 and 2 and 3\n"
+                  "d = 0 or '' or 'x'\n"
+                  "e = not 0\n");
+    Value a, b;
+    ASSERT_TRUE(in->getGlobal("a", a));
+    EXPECT_TRUE(a.isBool());
+    EXPECT_FALSE(a.asBool());
+    ASSERT_TRUE(in->getGlobal("b", b));
+    EXPECT_TRUE(b.asBool());
+    EXPECT_EQ(globalInt(*in, "c"), 3);
+    EXPECT_EQ(globalStr(*in, "d"), "x");
+    Value e;
+    ASSERT_TRUE(in->getGlobal("e", e));
+    EXPECT_TRUE(e.asBool());
+}
+
+TEST(InterpControl, WhileLoop)
+{
+    auto in = run("total = 0\n"
+                  "i = 0\n"
+                  "while i < 100:\n"
+                  "    total += i\n"
+                  "    i += 1\n");
+    EXPECT_EQ(globalInt(*in, "total"), 4950);
+}
+
+TEST(InterpControl, ForRange)
+{
+    auto in = run("total = 0\n"
+                  "for i in range(1, 11):\n"
+                  "    total += i\n"
+                  "neg = 0\n"
+                  "for i in range(10, 0, -2):\n"
+                  "    neg += i\n");
+    EXPECT_EQ(globalInt(*in, "total"), 55);
+    EXPECT_EQ(globalInt(*in, "neg"), 30);
+}
+
+TEST(InterpControl, BreakContinue)
+{
+    auto in = run("total = 0\n"
+                  "for i in range(100):\n"
+                  "    if i % 2 == 0:\n"
+                  "        continue\n"
+                  "    if i > 10:\n"
+                  "        break\n"
+                  "    total += i\n");
+    EXPECT_EQ(globalInt(*in, "total"), 1 + 3 + 5 + 7 + 9);
+}
+
+TEST(InterpControl, NestedLoopsWithBreak)
+{
+    auto in = run("hits = 0\n"
+                  "for i in range(10):\n"
+                  "    for j in range(10):\n"
+                  "        if j == 3:\n"
+                  "            break\n"
+                  "        hits += 1\n");
+    EXPECT_EQ(globalInt(*in, "hits"), 30);
+}
+
+TEST(InterpControl, IfElifElse)
+{
+    auto in = run("def classify(x):\n"
+                  "    if x < 0:\n"
+                  "        return 'neg'\n"
+                  "    elif x == 0:\n"
+                  "        return 'zero'\n"
+                  "    else:\n"
+                  "        return 'pos'\n"
+                  "a = classify(-5)\n"
+                  "b = classify(0)\n"
+                  "c = classify(7)\n");
+    EXPECT_EQ(globalStr(*in, "a"), "neg");
+    EXPECT_EQ(globalStr(*in, "b"), "zero");
+    EXPECT_EQ(globalStr(*in, "c"), "pos");
+}
+
+TEST(InterpFunctions, RecursionFibonacci)
+{
+    auto in = run("def fib(n):\n"
+                  "    if n < 2:\n"
+                  "        return n\n"
+                  "    return fib(n - 1) + fib(n - 2)\n"
+                  "x = fib(15)\n");
+    EXPECT_EQ(globalInt(*in, "x"), 610);
+}
+
+TEST(InterpFunctions, DefaultArguments)
+{
+    auto in = run("def f(a, b=10, c=20):\n"
+                  "    return a + b + c\n"
+                  "x = f(1)\n"
+                  "y = f(1, 2)\n"
+                  "z = f(1, 2, 3)\n");
+    EXPECT_EQ(globalInt(*in, "x"), 31);
+    EXPECT_EQ(globalInt(*in, "y"), 23);
+    EXPECT_EQ(globalInt(*in, "z"), 6);
+}
+
+TEST(InterpFunctions, GlobalStatement)
+{
+    auto in = run("counter = 0\n"
+                  "def bump():\n"
+                  "    global counter\n"
+                  "    counter += 1\n"
+                  "bump()\n"
+                  "bump()\n"
+                  "bump()\n");
+    EXPECT_EQ(globalInt(*in, "counter"), 3);
+}
+
+TEST(InterpFunctions, CallGlobalFromHost)
+{
+    auto in = run("def add(a, b):\n"
+                  "    return a + b\n");
+    Value r = in->callGlobal(
+        "add", {Value::makeInt(40), Value::makeInt(2)});
+    EXPECT_EQ(r.asInt(), 42);
+}
+
+TEST(InterpFunctions, WrongArityThrows)
+{
+    auto in = run("def f(a):\n"
+                  "    return a\n");
+    EXPECT_THROW(in->callGlobal("f", {}), VmError);
+    EXPECT_THROW(in->callGlobal("f", {Value::makeInt(1),
+                                      Value::makeInt(2)}),
+                 VmError);
+}
+
+TEST(InterpFunctions, MaxRecursionDepth)
+{
+    auto prog = compileSource("def f():\n"
+                              "    return f()\n");
+    InterpConfig cfg;
+    cfg.maxCallDepth = 50;
+    Interp in(prog, cfg);
+    in.runModule();
+    EXPECT_THROW(in.callGlobal("f", {}), VmError);
+}
+
+TEST(InterpCollections, ListBasics)
+{
+    auto in = run("l = [1, 2, 3]\n"
+                  "l.append(4)\n"
+                  "l[0] = 10\n"
+                  "n = len(l)\n"
+                  "s = sum(l)\n"
+                  "p = l.pop()\n");
+    EXPECT_EQ(globalInt(*in, "n"), 4);
+    EXPECT_EQ(globalInt(*in, "s"), 19);
+    EXPECT_EQ(globalInt(*in, "p"), 4);
+}
+
+TEST(InterpCollections, ListMethods)
+{
+    auto in = run("l = [3, 1, 2]\n"
+                  "l.sort()\n"
+                  "first = l[0]\n"
+                  "l.reverse()\n"
+                  "top = l[0]\n"
+                  "l.insert(1, 99)\n"
+                  "second = l[1]\n"
+                  "i = l.index(99)\n"
+                  "l.extend([7, 7])\n"
+                  "c = l.count(7)\n");
+    EXPECT_EQ(globalInt(*in, "first"), 1);
+    EXPECT_EQ(globalInt(*in, "top"), 3);
+    EXPECT_EQ(globalInt(*in, "second"), 99);
+    EXPECT_EQ(globalInt(*in, "i"), 1);
+    EXPECT_EQ(globalInt(*in, "c"), 2);
+}
+
+TEST(InterpCollections, DictBasics)
+{
+    auto in = run("d = {'a': 1, 'b': 2}\n"
+                  "d['c'] = 3\n"
+                  "x = d['a'] + d['b'] + d['c']\n"
+                  "n = len(d)\n"
+                  "g = d.get('missing', 42)\n"
+                  "has = 'b' in d\n"
+                  "hasnt = 'z' not in d\n");
+    EXPECT_EQ(globalInt(*in, "x"), 6);
+    EXPECT_EQ(globalInt(*in, "n"), 3);
+    EXPECT_EQ(globalInt(*in, "g"), 42);
+    Value has, hasnt;
+    ASSERT_TRUE(in->getGlobal("has", has));
+    ASSERT_TRUE(in->getGlobal("hasnt", hasnt));
+    EXPECT_TRUE(has.asBool());
+    EXPECT_TRUE(hasnt.asBool());
+}
+
+TEST(InterpCollections, DictIterationPreservesInsertionOrder)
+{
+    auto in = run("d = {}\n"
+                  "d['x'] = 1\n"
+                  "d['y'] = 2\n"
+                  "d['z'] = 3\n"
+                  "keys = ''\n"
+                  "total = 0\n"
+                  "for k in d:\n"
+                  "    keys = keys + k\n"
+                  "for k, v in d.items():\n"
+                  "    total += v\n");
+    EXPECT_EQ(globalStr(*in, "keys"), "xyz");
+    EXPECT_EQ(globalInt(*in, "total"), 6);
+}
+
+TEST(InterpCollections, DictDelete)
+{
+    auto in = run("d = {'a': 1, 'b': 2}\n"
+                  "del d['a']\n"
+                  "n = len(d)\n"
+                  "gone = 'a' not in d\n");
+    EXPECT_EQ(globalInt(*in, "n"), 1);
+    Value gone;
+    ASSERT_TRUE(in->getGlobal("gone", gone));
+    EXPECT_TRUE(gone.asBool());
+}
+
+TEST(InterpCollections, TupleUnpacking)
+{
+    auto in = run("a, b = 1, 2\n"
+                  "a, b = b, a\n"
+                  "t = (10, 20, 30)\n"
+                  "x, y, z = t\n");
+    EXPECT_EQ(globalInt(*in, "a"), 2);
+    EXPECT_EQ(globalInt(*in, "b"), 1);
+    EXPECT_EQ(globalInt(*in, "x"), 10);
+    EXPECT_EQ(globalInt(*in, "z"), 30);
+}
+
+TEST(InterpClasses, BasicClassWithInit)
+{
+    auto in = run("class Point:\n"
+                  "    def __init__(self, x, y):\n"
+                  "        self.x = x\n"
+                  "        self.y = y\n"
+                  "    def dist2(self):\n"
+                  "        return self.x * self.x + self.y * self.y\n"
+                  "p = Point(3, 4)\n"
+                  "d = p.dist2()\n"
+                  "p.x = 6\n"
+                  "d2 = p.dist2()\n");
+    EXPECT_EQ(globalInt(*in, "d"), 25);
+    EXPECT_EQ(globalInt(*in, "d2"), 52);
+}
+
+TEST(InterpClasses, Inheritance)
+{
+    auto in = run("class Animal:\n"
+                  "    def __init__(self, name):\n"
+                  "        self.name = name\n"
+                  "    def speak(self):\n"
+                  "        return 'generic'\n"
+                  "    def intro(self):\n"
+                  "        return self.name + ': ' + self.speak()\n"
+                  "class Dog(Animal):\n"
+                  "    def speak(self):\n"
+                  "        return 'woof'\n"
+                  "d = Dog('rex')\n"
+                  "s = d.intro()\n"
+                  "ok = isinstance(d, Dog)\n"
+                  "ok2 = isinstance(d, Animal)\n");
+    EXPECT_EQ(globalStr(*in, "s"), "rex: woof");
+    Value ok, ok2;
+    ASSERT_TRUE(in->getGlobal("ok", ok));
+    ASSERT_TRUE(in->getGlobal("ok2", ok2));
+    EXPECT_TRUE(ok.asBool());
+    EXPECT_TRUE(ok2.asBool());
+}
+
+TEST(InterpClasses, BaseMethodCallStyle)
+{
+    auto in = run("class Base:\n"
+                  "    def __init__(self, v):\n"
+                  "        self.v = v\n"
+                  "class Derived(Base):\n"
+                  "    def __init__(self, v):\n"
+                  "        Base.__init__(self, v * 2)\n"
+                  "d = Derived(21)\n"
+                  "x = d.v\n");
+    EXPECT_EQ(globalInt(*in, "x"), 42);
+}
+
+TEST(InterpClasses, ClassAttributes)
+{
+    auto in = run("class Counter:\n"
+                  "    total = 0\n"
+                  "    def __init__(self):\n"
+                  "        Counter.total = Counter.total + 1\n"
+                  "a = Counter()\n"
+                  "b = Counter()\n"
+                  "c = Counter()\n"
+                  "n = Counter.total\n");
+    EXPECT_EQ(globalInt(*in, "n"), 3);
+}
+
+TEST(InterpBuiltins, Conversions)
+{
+    auto in = run("a = int('42')\n"
+                  "b = int(3.9)\n"
+                  "c = float('2.5')\n"
+                  "d = str(123)\n"
+                  "e = ord('A')\n"
+                  "f = chr(66)\n"
+                  "g = abs(-5)\n"
+                  "h = min(3, 1, 2)\n"
+                  "i = max([4, 9, 2])\n");
+    EXPECT_EQ(globalInt(*in, "a"), 42);
+    EXPECT_EQ(globalInt(*in, "b"), 3);
+    EXPECT_DOUBLE_EQ(globalFloat(*in, "c"), 2.5);
+    EXPECT_EQ(globalStr(*in, "d"), "123");
+    EXPECT_EQ(globalInt(*in, "e"), 65);
+    EXPECT_EQ(globalStr(*in, "f"), "B");
+    EXPECT_EQ(globalInt(*in, "g"), 5);
+    EXPECT_EQ(globalInt(*in, "h"), 1);
+    EXPECT_EQ(globalInt(*in, "i"), 9);
+}
+
+TEST(InterpBuiltins, SortedAndListConversion)
+{
+    auto in = run("x = sorted([3, 1, 2])\n"
+                  "y = list(range(4))\n"
+                  "z = list('abc')\n");
+    Value x, y, z;
+    ASSERT_TRUE(in->getGlobal("x", x));
+    ASSERT_TRUE(in->getGlobal("y", y));
+    ASSERT_TRUE(in->getGlobal("z", z));
+    EXPECT_EQ(x.repr(), "[1, 2, 3]");
+    EXPECT_EQ(y.repr(), "[0, 1, 2, 3]");
+    EXPECT_EQ(z.repr(), "['a', 'b', 'c']");
+}
+
+TEST(InterpBuiltins, PrintCapturesOutput)
+{
+    auto in = run("print('hello', 42)\n"
+                  "print([1, 2])\n");
+    EXPECT_EQ(in->output(), "hello 42\n[1, 2]\n");
+}
+
+TEST(InterpBuiltins, StrMethods)
+{
+    auto in = run("a = 'Hello World'.upper()\n"
+                  "b = 'Hello'.lower()\n"
+                  "c = 'a,b,c'.split(',')\n"
+                  "d = '-'.join(['x', 'y', 'z'])\n"
+                  "e = '  pad  '.strip()\n"
+                  "f = 'hello'.find('ll')\n"
+                  "g = 'aaa'.replace('a', 'bb')\n"
+                  "h = 'prefix_x'.startswith('prefix')\n");
+    EXPECT_EQ(globalStr(*in, "a"), "HELLO WORLD");
+    EXPECT_EQ(globalStr(*in, "b"), "hello");
+    Value c;
+    ASSERT_TRUE(in->getGlobal("c", c));
+    EXPECT_EQ(c.repr(), "['a', 'b', 'c']");
+    EXPECT_EQ(globalStr(*in, "d"), "x-y-z");
+    EXPECT_EQ(globalStr(*in, "e"), "pad");
+    EXPECT_EQ(globalInt(*in, "f"), 2);
+    EXPECT_EQ(globalStr(*in, "g"), "bbbbbb");
+    Value h;
+    ASSERT_TRUE(in->getGlobal("h", h));
+    EXPECT_TRUE(h.asBool());
+}
+
+TEST(InterpErrors, NameError)
+{
+    EXPECT_THROW(run("x = undefined_name\n"), VmError);
+}
+
+TEST(InterpErrors, DivisionByZero)
+{
+    EXPECT_THROW(run("x = 1 // 0\n"), VmError);
+    EXPECT_THROW(run("x = 1 / 0\n"), VmError);
+    EXPECT_THROW(run("x = 1 % 0\n"), VmError);
+}
+
+TEST(InterpErrors, TypeErrors)
+{
+    EXPECT_THROW(run("x = 'a' + 1\n"), VmError);
+    EXPECT_THROW(run("x = len(42)\n"), VmError);
+    EXPECT_THROW(run("x = [1][5]\n"), VmError);
+    EXPECT_THROW(run("x = {}['missing']\n"), VmError);
+    EXPECT_THROW(run("x = 5\nx()\n"), VmError);
+}
+
+TEST(InterpErrors, AttributeError)
+{
+    EXPECT_THROW(run("class A:\n"
+                     "    pass\n"
+                     "a = A()\n"
+                     "x = a.missing\n"),
+                 VmError);
+}
+
+TEST(InterpStatsTest, CountsBytecodesAndAllocs)
+{
+    auto in = run("l = []\n"
+                  "for i in range(100):\n"
+                  "    l.append(i * 2)\n");
+    EXPECT_GT(in->stats().bytecodes, 500u);
+    EXPECT_GT(in->stats().uops, in->stats().bytecodes);
+    EXPECT_GT(in->stats().allocations, 0u);
+}
+
+TEST(InterpHashSeed, DifferentSeedsSameResults)
+{
+    std::string src = "d = {}\n"
+                      "for i in range(50):\n"
+                      "    d[str(i)] = i\n"
+                      "total = 0\n"
+                      "for k in d:\n"
+                      "    total += d[k]\n";
+    auto prog = compileSource(src);
+    InterpConfig a, b;
+    a.hashSeed = 1;
+    b.hashSeed = 999;
+    Interp ia(prog, a), ib(prog, b);
+    ia.runModule();
+    ib.runModule();
+    Value va, vb;
+    ASSERT_TRUE(ia.getGlobal("total", va));
+    ASSERT_TRUE(ib.getGlobal("total", vb));
+    EXPECT_EQ(va.asInt(), vb.asInt());
+}
+
+
+TEST(InterpComprehensions, BasicListComp)
+{
+    auto in = run("x = [i * i for i in range(6)]\n");
+    Value x;
+    ASSERT_TRUE(in->getGlobal("x", x));
+    EXPECT_EQ(x.repr(), "[0, 1, 4, 9, 16, 25]");
+}
+
+TEST(InterpComprehensions, FilteredComp)
+{
+    auto in = run("y = [i for i in range(20) if i % 3 == 0]\n");
+    Value y;
+    ASSERT_TRUE(in->getGlobal("y", y));
+    EXPECT_EQ(y.repr(), "[0, 3, 6, 9, 12, 15, 18]");
+}
+
+TEST(InterpComprehensions, OverListsAndStrings)
+{
+    auto in = run("words = ['a', 'bb', 'ccc']\n"
+                  "lens = [len(w) for w in words]\n"
+                  "ups = [c.upper() for c in 'abc']\n");
+    Value lens, ups;
+    ASSERT_TRUE(in->getGlobal("lens", lens));
+    ASSERT_TRUE(in->getGlobal("ups", ups));
+    EXPECT_EQ(lens.repr(), "[1, 2, 3]");
+    EXPECT_EQ(ups.repr(), "['A', 'B', 'C']");
+}
+
+TEST(InterpComprehensions, NestedComp)
+{
+    auto in = run(
+        "nested = [j for j in [k + 1 for k in range(4)]]\n");
+    Value nested;
+    ASSERT_TRUE(in->getGlobal("nested", nested));
+    EXPECT_EQ(nested.repr(), "[1, 2, 3, 4]");
+}
+
+TEST(InterpComprehensions, InsideFunctionUsesLocals)
+{
+    auto in = run("def f(n):\n"
+                  "    return [v * 2 for v in range(n) if v % 2 == 1]\n"
+                  "z = f(8)\n");
+    Value z;
+    ASSERT_TRUE(in->getGlobal("z", z));
+    EXPECT_EQ(z.repr(), "[2, 6, 10, 14]");
+}
+
+TEST(InterpComprehensions, WorksOnAdaptiveTier)
+{
+    std::string src = "def f(n):\n"
+                      "    return sum([v for v in range(n)])\n";
+    auto prog = compileSource(src);
+    InterpConfig cfg;
+    cfg.tier = Tier::Adaptive;
+    cfg.jitThreshold = 1;
+    Interp in(prog, cfg);
+    in.runModule();
+    Value r = in.callGlobal("f", {Value::makeInt(100)});
+    EXPECT_EQ(r.asInt(), 4950);
+}
+
+TEST(InterpComprehensions, CompVariableLeaksToScope)
+{
+    // Documented divergence from Python 3: the loop variable binds
+    // in the enclosing scope (Python 2 semantics).
+    auto in = run("x = [i for i in range(5)]\n"
+                  "last = i\n");
+    EXPECT_EQ(globalInt(*in, "last"), 4);
+}
+
+
+TEST(InterpBuiltins, EnumerateAndZip)
+{
+    auto in = run("pairs = enumerate(['a', 'b', 'c'])\n"
+                  "s = ''\n"
+                  "total = 0\n"
+                  "for i, v in pairs:\n"
+                  "    total += i\n"
+                  "    s = s + v\n"
+                  "offset = enumerate('xy', 10)\n"
+                  "o0 = offset[0][0]\n"
+                  "zipped = zip([1, 2, 3], ['a', 'b'])\n"
+                  "n = len(zipped)\n"
+                  "z_sum = 0\n"
+                  "for a, b in zip([1, 2], [10, 20]):\n"
+                  "    z_sum += a * 100 + len(b * 0 == 0 and 'x')\n");
+    EXPECT_EQ(globalInt(*in, "total"), 3);
+    EXPECT_EQ(globalStr(*in, "s"), "abc");
+    EXPECT_EQ(globalInt(*in, "o0"), 10);
+    EXPECT_EQ(globalInt(*in, "n"), 2);
+}
+
+TEST(InterpBuiltins, ZipThreeWay)
+{
+    auto in = run(
+        "t = zip(range(3), 'abc', [True, False, True])\n"
+        "checks = 0\n"
+        "for i, c, flag in t:\n"
+        "    if flag:\n"
+        "        checks += i + ord(c)\n");
+    EXPECT_EQ(globalInt(*in, "checks"),
+              0 + 'a' + 2 + 'c');
+}
+
+} // namespace
+} // namespace vm
+} // namespace rigor

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Lexer tests: token streams, indentation handling, literals,
+ * operators, comments, line joining, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/lexer.hh"
+
+namespace rigor {
+namespace vm {
+namespace {
+
+std::vector<Tok>
+kinds(const std::string &src)
+{
+    std::vector<Tok> out;
+    for (const auto &t : tokenize(src))
+        out.push_back(t.kind);
+    return out;
+}
+
+TEST(Lexer, SimpleAssignment)
+{
+    auto ks = kinds("x = 1\n");
+    ASSERT_EQ(ks.size(), 5u);
+    EXPECT_EQ(ks[0], Tok::Name);
+    EXPECT_EQ(ks[1], Tok::Assign);
+    EXPECT_EQ(ks[2], Tok::IntLit);
+    EXPECT_EQ(ks[3], Tok::Newline);
+    EXPECT_EQ(ks[4], Tok::EndOfFile);
+}
+
+TEST(Lexer, IntAndFloatLiterals)
+{
+    auto toks = tokenize("42 3.5 0.25 1e3 2.5e-2 0x1f\n");
+    EXPECT_EQ(toks[0].kind, Tok::IntLit);
+    EXPECT_EQ(toks[0].intValue, 42);
+    EXPECT_EQ(toks[1].kind, Tok::FloatLit);
+    EXPECT_DOUBLE_EQ(toks[1].floatValue, 3.5);
+    EXPECT_DOUBLE_EQ(toks[2].floatValue, 0.25);
+    EXPECT_EQ(toks[3].kind, Tok::FloatLit);
+    EXPECT_DOUBLE_EQ(toks[3].floatValue, 1000.0);
+    EXPECT_DOUBLE_EQ(toks[4].floatValue, 0.025);
+    EXPECT_EQ(toks[5].kind, Tok::IntLit);
+    EXPECT_EQ(toks[5].intValue, 31);
+}
+
+TEST(Lexer, StringLiteralsAndEscapes)
+{
+    auto toks = tokenize("'a' \"b\" 'don\\'t' 'tab\\there'\n");
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "don't");
+    EXPECT_EQ(toks[3].text, "tab\there");
+}
+
+TEST(Lexer, KeywordsVsNames)
+{
+    auto toks = tokenize("if iffy for fortune\n");
+    EXPECT_EQ(toks[0].kind, Tok::KwIf);
+    EXPECT_EQ(toks[1].kind, Tok::Name);
+    EXPECT_EQ(toks[1].text, "iffy");
+    EXPECT_EQ(toks[2].kind, Tok::KwFor);
+    EXPECT_EQ(toks[3].text, "fortune");
+}
+
+TEST(Lexer, IndentDedent)
+{
+    auto ks = kinds("if x:\n    y = 1\nz = 2\n");
+    // if x : NL INDENT y = 1 NL DEDENT z = 2 NL EOF
+    std::vector<Tok> expect = {
+        Tok::KwIf,   Tok::Name,    Tok::Colon,  Tok::Newline,
+        Tok::Indent, Tok::Name,    Tok::Assign, Tok::IntLit,
+        Tok::Newline, Tok::Dedent, Tok::Name,   Tok::Assign,
+        Tok::IntLit, Tok::Newline, Tok::EndOfFile,
+    };
+    EXPECT_EQ(ks, expect);
+}
+
+TEST(Lexer, NestedIndentationClosesAllLevels)
+{
+    auto ks = kinds("if a:\n    if b:\n        c = 1\n");
+    int indents = 0, dedents = 0;
+    for (auto k : ks) {
+        if (k == Tok::Indent)
+            ++indents;
+        if (k == Tok::Dedent)
+            ++dedents;
+    }
+    EXPECT_EQ(indents, 2);
+    EXPECT_EQ(dedents, 2);
+}
+
+TEST(Lexer, BlankLinesAndCommentsIgnored)
+{
+    auto ks = kinds("x = 1\n\n# comment\n   # indented comment\n"
+                    "y = 2\n");
+    int newlines = 0;
+    for (auto k : ks)
+        if (k == Tok::Newline)
+            ++newlines;
+    EXPECT_EQ(newlines, 2);  // only the two real statements
+}
+
+TEST(Lexer, TrailingCommentOnCodeLine)
+{
+    auto ks = kinds("x = 1  # set x\n");
+    EXPECT_EQ(ks[3], Tok::Newline);
+}
+
+TEST(Lexer, ImplicitLineJoiningInsideBrackets)
+{
+    auto ks = kinds("x = [1,\n     2,\n     3]\n");
+    // No Newline/Indent tokens inside the brackets.
+    int newlines = 0;
+    for (auto k : ks) {
+        if (k == Tok::Newline)
+            ++newlines;
+        EXPECT_NE(k, Tok::Indent);
+    }
+    EXPECT_EQ(newlines, 1);
+}
+
+TEST(Lexer, OperatorsTwoChar)
+{
+    auto toks = tokenize("== != <= >= << >> ** // += -= *= //= %=\n");
+    std::vector<Tok> expect = {
+        Tok::Eq, Tok::Ne, Tok::Le, Tok::Ge, Tok::LShift,
+        Tok::RShift, Tok::DoubleStar, Tok::DoubleSlash,
+        Tok::PlusAssign, Tok::MinusAssign, Tok::StarAssign,
+        Tok::DoubleSlashAssign, Tok::PercentAssign,
+    };
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(toks[i].kind, expect[i]) << "index " << i;
+}
+
+TEST(Lexer, MissingFinalNewlineHandled)
+{
+    auto ks = kinds("x = 1");
+    EXPECT_EQ(ks.back(), Tok::EndOfFile);
+    EXPECT_EQ(ks[ks.size() - 2], Tok::Newline);
+}
+
+TEST(Lexer, LineAndColumnTracking)
+{
+    auto toks = tokenize("a = 1\nbb = 2\n");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[0].col, 1);
+    // 'bb' on line 2.
+    EXPECT_EQ(toks[4].line, 2);
+    EXPECT_EQ(toks[4].text, "bb");
+}
+
+TEST(Lexer, Errors)
+{
+    EXPECT_THROW(tokenize("x = 'unterminated\n"), SyntaxError);
+    EXPECT_THROW(tokenize("x = $\n"), SyntaxError);
+    EXPECT_THROW(tokenize("x = 1 !\n"), SyntaxError);
+    EXPECT_THROW(tokenize("if a:\n    x = 1\n  y = 2\n"),
+                 SyntaxError);  // bad dedent
+}
+
+TEST(Lexer, AdjacentStringsKeptSeparateTokens)
+{
+    auto toks = tokenize("'a' 'b'\n");
+    EXPECT_EQ(toks[0].kind, Tok::StrLit);
+    EXPECT_EQ(toks[1].kind, Tok::StrLit);
+}
+
+TEST(Lexer, ExplicitLineContinuation)
+{
+    auto ks = kinds("x = 1 + \\\n    2\n");
+    int newlines = 0;
+    for (auto k : ks)
+        if (k == Tok::Newline)
+            ++newlines;
+    EXPECT_EQ(newlines, 1);
+}
+
+} // namespace
+} // namespace vm
+} // namespace rigor

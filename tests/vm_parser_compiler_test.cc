@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Parser and compiler tests: AST shapes, precedence, syntax error
+ * rejection, bytecode structure, constant/name pooling, scope
+ * analysis, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/compiler.hh"
+#include "vm/lexer.hh"
+#include "vm/parser.hh"
+
+namespace rigor {
+namespace vm {
+namespace {
+
+TEST(Parser, ExpressionPrecedence)
+{
+    Module m = parse("x = 1 + 2 * 3 ** 2\n");
+    ASSERT_EQ(m.body.size(), 1u);
+    const Stmt &s = *m.body[0];
+    ASSERT_EQ(s.kind, StmtKind::Assign);
+    // Top node is Add (lowest precedence).
+    ASSERT_EQ(s.expr->kind, ExprKind::Binary);
+    EXPECT_EQ(s.expr->binOp, BinOp::Add);
+    // Right child is Mul.
+    ASSERT_EQ(s.expr->rhs->kind, ExprKind::Binary);
+    EXPECT_EQ(s.expr->rhs->binOp, BinOp::Mul);
+    // Whose right child is Pow.
+    EXPECT_EQ(s.expr->rhs->rhs->binOp, BinOp::Pow);
+}
+
+TEST(Parser, PowerIsRightAssociative)
+{
+    Module m = parse("x = 2 ** 3 ** 2\n");
+    const Expr &e = *m.body[0]->expr;
+    ASSERT_EQ(e.binOp, BinOp::Pow);
+    // Right side is another Pow: 2 ** (3 ** 2).
+    EXPECT_EQ(e.rhs->kind, ExprKind::Binary);
+    EXPECT_EQ(e.rhs->binOp, BinOp::Pow);
+    EXPECT_EQ(e.lhs->kind, ExprKind::IntLit);
+}
+
+TEST(Parser, UnaryBindsTighterThanBinary)
+{
+    Module m = parse("x = -a + b\n");
+    const Expr &e = *m.body[0]->expr;
+    EXPECT_EQ(e.kind, ExprKind::Binary);
+    EXPECT_EQ(e.binOp, BinOp::Add);
+    EXPECT_EQ(e.lhs->kind, ExprKind::Unary);
+}
+
+TEST(Parser, BoolChainFlattens)
+{
+    Module m = parse("x = a and b and c\n");
+    const Expr &e = *m.body[0]->expr;
+    ASSERT_EQ(e.kind, ExprKind::BoolChain);
+    EXPECT_TRUE(e.isAnd);
+    EXPECT_EQ(e.items.size(), 3u);
+}
+
+TEST(Parser, CallAttributeSubscriptChains)
+{
+    Module m = parse("x = obj.method(1, 2)[3].field\n");
+    const Expr &e = *m.body[0]->expr;
+    // Outermost: .field attribute.
+    ASSERT_EQ(e.kind, ExprKind::Attribute);
+    EXPECT_EQ(e.strValue, "field");
+    // Below: subscript of a call.
+    ASSERT_EQ(e.lhs->kind, ExprKind::Subscript);
+    ASSERT_EQ(e.lhs->lhs->kind, ExprKind::Call);
+    EXPECT_EQ(e.lhs->lhs->items.size(), 2u);
+}
+
+TEST(Parser, ForWithTupleTarget)
+{
+    Module m = parse("for k, v in d.items():\n    pass\n");
+    const Stmt &s = *m.body[0];
+    ASSERT_EQ(s.kind, StmtKind::For);
+    ASSERT_EQ(s.target->kind, ExprKind::TupleLit);
+    EXPECT_EQ(s.target->items.size(), 2u);
+}
+
+TEST(Parser, DefWithDefaults)
+{
+    Module m = parse("def f(a, b=1, c=2):\n    return a\n");
+    const Stmt &s = *m.body[0];
+    EXPECT_EQ(s.params.size(), 3u);
+    EXPECT_EQ(s.defaults.size(), 2u);
+}
+
+TEST(Parser, ClassWithBase)
+{
+    Module m = parse("class B(A):\n    def m(self):\n"
+                     "        return 1\n");
+    const Stmt &s = *m.body[0];
+    EXPECT_EQ(s.kind, StmtKind::ClassDef);
+    EXPECT_EQ(s.name, "B");
+    EXPECT_EQ(s.baseName, "A");
+    EXPECT_EQ(s.body.size(), 1u);
+}
+
+TEST(Parser, SliceForms)
+{
+    Module m = parse("a = s[1:2]\nb = s[:2]\nc = s[1:]\n"
+                     "d = s[:]\ne = s[::2]\n");
+    for (const auto &stmt : m.body) {
+        ASSERT_EQ(stmt->expr->kind, ExprKind::Subscript);
+        EXPECT_EQ(stmt->expr->rhs->kind, ExprKind::SliceExpr);
+        EXPECT_EQ(stmt->expr->rhs->items.size(), 3u);
+    }
+}
+
+TEST(Parser, SyntaxErrorsRejected)
+{
+    EXPECT_THROW(parse("x = \n"), SyntaxError);
+    EXPECT_THROW(parse("if x\n    y = 1\n"), SyntaxError);
+    EXPECT_THROW(parse("def f(:\n    pass\n"), SyntaxError);
+    EXPECT_THROW(parse("x = 1 +\n"), SyntaxError);
+    EXPECT_THROW(parse("for in y:\n    pass\n"), SyntaxError);
+    EXPECT_THROW(parse("a < b < c\n"), SyntaxError);   // chains
+    EXPECT_THROW(parse("x = y = 1\n"), SyntaxError);   // chained =
+    EXPECT_THROW(parse("if x:\npass\n"), SyntaxError); // no block
+    EXPECT_THROW(parse("1 + 2 = 3\n"), SyntaxError);   // bad target
+    EXPECT_THROW(parse("def f(a=1, b):\n    pass\n"),
+                 SyntaxError);  // non-default after default
+}
+
+TEST(Parser, EmptyBlocksRejected)
+{
+    EXPECT_THROW(parse("if x:\n    \nelse:\n    y = 1\n"),
+                 SyntaxError);
+}
+
+TEST(Compiler, ConstantPoolingDeduplicates)
+{
+    Program p = compileSource("x = 5\ny = 5\nz = 5.0\n");
+    // 5 pooled once; 5.0 distinct (different tag); None for the
+    // implicit return.
+    int int_consts = 0, float_consts = 0;
+    for (const auto &c : p.module->constants) {
+        if (c.isInt())
+            ++int_consts;
+        if (c.isFloat())
+            ++float_consts;
+    }
+    EXPECT_EQ(int_consts, 1);
+    EXPECT_EQ(float_consts, 1);
+}
+
+TEST(Compiler, NamePooling)
+{
+    Program p = compileSource("foo = 1\nbar = foo + foo\n");
+    int foo_count = 0;
+    for (const auto &n : p.module->nameStrings)
+        if (n == "foo")
+            ++foo_count;
+    EXPECT_EQ(foo_count, 1);
+}
+
+TEST(Compiler, LocalsVsGlobals)
+{
+    Program p = compileSource("g = 1\n"
+                              "def f(a):\n"
+                              "    b = a + g\n"
+                              "    return b\n");
+    const CodeObject &fn = *p.module->children[0];
+    EXPECT_EQ(fn.numParams, 1);
+    EXPECT_EQ(fn.numLocals, 2);  // a, b
+    // g accessed via LoadGlobal inside f.
+    bool has_load_global = false;
+    for (const auto &ins : fn.instrs)
+        if (ins.op == Op::LoadGlobal)
+            has_load_global = true;
+    EXPECT_TRUE(has_load_global);
+}
+
+TEST(Compiler, GlobalDeclarationForcesStoreGlobal)
+{
+    Program p = compileSource("c = 0\n"
+                              "def bump():\n"
+                              "    global c\n"
+                              "    c = c + 1\n");
+    const CodeObject &fn = *p.module->children[0];
+    EXPECT_EQ(fn.numLocals, 0);
+    bool store_global = false;
+    for (const auto &ins : fn.instrs)
+        if (ins.op == Op::StoreGlobal)
+            store_global = true;
+    EXPECT_TRUE(store_global);
+}
+
+TEST(Compiler, JumpTargetsInRange)
+{
+    Program p = compileSource(
+        "def f(n):\n"
+        "    t = 0\n"
+        "    for i in range(n):\n"
+        "        if i % 2 == 0:\n"
+        "            continue\n"
+        "        if i > 50:\n"
+        "            break\n"
+        "        t += i\n"
+        "    while t > 0:\n"
+        "        t -= 3\n"
+        "    return t\n");
+    const CodeObject &fn = *p.module->children[0];
+    for (const auto &ins : fn.instrs) {
+        if (opIsJump(ins.op)) {
+            EXPECT_GE(ins.arg, 0);
+            EXPECT_LE(static_cast<size_t>(ins.arg),
+                      fn.instrs.size());
+        }
+    }
+}
+
+TEST(Compiler, EveryCodeObjectEndsWithReturn)
+{
+    Program p = compileSource("def f():\n"
+                              "    x = 1\n"
+                              "class C:\n"
+                              "    def m(self):\n"
+                              "        pass\n");
+    std::vector<const CodeObject *> all = {p.module.get()};
+    for (size_t i = 0; i < all.size(); ++i) {
+        for (const auto &child : all[i]->children)
+            all.push_back(child.get());
+    }
+    EXPECT_EQ(all.size(), 4u);  // module, f, C body, m
+    for (const auto *code : all) {
+        ASSERT_FALSE(code->instrs.empty());
+        EXPECT_EQ(code->instrs.back().op, Op::Return)
+            << code->name;
+    }
+}
+
+TEST(Compiler, CodeIdsAreUnique)
+{
+    Program p = compileSource("def a():\n    pass\n"
+                              "def b():\n    pass\n"
+                              "class C:\n"
+                              "    def m(self):\n        pass\n");
+    std::vector<const CodeObject *> all = {p.module.get()};
+    for (size_t i = 0; i < all.size(); ++i)
+        for (const auto &child : all[i]->children)
+            all.push_back(child.get());
+    std::vector<uint32_t> ids;
+    for (const auto *c : all)
+        ids.push_back(c->codeId);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+    EXPECT_EQ(p.codeCount, ids.size());
+}
+
+TEST(Compiler, ErrorsRejected)
+{
+    EXPECT_THROW(compileSource("return 1\n"), CompileError);
+    EXPECT_THROW(compileSource("break\n"), CompileError);
+    EXPECT_THROW(compileSource("continue\n"), CompileError);
+    EXPECT_THROW(compileSource("def f():\n    break\n"),
+                 CompileError);
+}
+
+TEST(Compiler, DisassemblerShowsStructure)
+{
+    Program p = compileSource("def add(a, b):\n"
+                              "    return a + b\n"
+                              "x = add(1, 2)\n");
+    std::string dis = p.module->disassemble();
+    EXPECT_NE(dis.find("MAKE_FUNCTION"), std::string::npos);
+    EXPECT_NE(dis.find("code add"), std::string::npos);
+    EXPECT_NE(dis.find("BINARY_ADD"), std::string::npos);
+    EXPECT_NE(dis.find("LOAD_FAST"), std::string::npos);
+    EXPECT_NE(dis.find("(a)"), std::string::npos);
+}
+
+TEST(Compiler, TotalInstrsCountsRecursively)
+{
+    Program p = compileSource("def f():\n    return 1\n");
+    EXPECT_EQ(p.module->totalInstrs(),
+              p.module->instrs.size() +
+                  p.module->children[0]->instrs.size());
+}
+
+TEST(OpNames, AllOpcodesHaveNames)
+{
+    for (int i = 0; i < static_cast<int>(Op::NumOpcodes); ++i) {
+        std::string name = opName(static_cast<Op>(i));
+        EXPECT_NE(name, "?") << "opcode " << i;
+    }
+}
+
+} // namespace
+} // namespace vm
+} // namespace rigor

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Workload-suite tests: every benchmark compiles, runs on both tiers,
+ * produces identical checksums across tiers, hash seeds and repeat
+ * iterations, and known closed-form results match.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "vm/compiler.hh"
+#include "vm/interp.hh"
+#include "workloads/workloads.hh"
+
+namespace rigor {
+namespace workloads {
+namespace {
+
+using vm::Interp;
+using vm::InterpConfig;
+using vm::Tier;
+using vm::Value;
+
+int64_t
+runWorkload(const WorkloadSpec &spec, int64_t size, InterpConfig cfg = {})
+{
+    vm::Program prog = vm::compileSource(spec.source, spec.name);
+    Interp interp(prog, cfg);
+    interp.runModule();
+    Value result =
+        interp.callGlobal("run", {Value::makeInt(size)});
+    EXPECT_TRUE(result.isInt())
+        << spec.name << " returned " << result.typeName();
+    return result.isInt() ? result.asInt() : -1;
+}
+
+class WorkloadSuite : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(WorkloadSuite, RunsOnInterpreterTier)
+{
+    const WorkloadSpec &spec = suite()[GetParam()];
+    int64_t r = runWorkload(spec, spec.testSize);
+    EXPECT_NE(r, -1) << spec.name;
+}
+
+TEST_P(WorkloadSuite, TiersAgreeOnChecksum)
+{
+    const WorkloadSpec &spec = suite()[GetParam()];
+    InterpConfig interp_cfg, jit_cfg;
+    interp_cfg.tier = Tier::Interp;
+    jit_cfg.tier = Tier::Adaptive;
+    jit_cfg.jitThreshold = 4;  // force early compilation
+    int64_t a = runWorkload(spec, spec.testSize, interp_cfg);
+    int64_t b = runWorkload(spec, spec.testSize, jit_cfg);
+    EXPECT_EQ(a, b) << spec.name;
+}
+
+TEST_P(WorkloadSuite, HashSeedDoesNotChangeChecksum)
+{
+    const WorkloadSpec &spec = suite()[GetParam()];
+    InterpConfig a_cfg, b_cfg;
+    a_cfg.hashSeed = 123;
+    b_cfg.hashSeed = 987654321;
+    EXPECT_EQ(runWorkload(spec, spec.testSize, a_cfg),
+              runWorkload(spec, spec.testSize, b_cfg))
+        << spec.name;
+}
+
+TEST_P(WorkloadSuite, RepeatedIterationsAgree)
+{
+    const WorkloadSpec &spec = suite()[GetParam()];
+    vm::Program prog = vm::compileSource(spec.source, spec.name);
+    Interp interp(prog, {});
+    interp.runModule();
+    Value first = interp.callGlobal(
+        "run", {Value::makeInt(spec.testSize)});
+    Value second = interp.callGlobal(
+        "run", {Value::makeInt(spec.testSize)});
+    EXPECT_TRUE(first.equals(second)) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSuite,
+    ::testing::Range<size_t>(0, suite().size()),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        return suite()[info.param].name;
+    });
+
+TEST(WorkloadResults, QueensKnownCounts)
+{
+    const WorkloadSpec &spec = findWorkload("queens");
+    EXPECT_EQ(runWorkload(spec, 6), 4);
+    EXPECT_EQ(runWorkload(spec, 8), 92);
+}
+
+TEST(WorkloadResults, SieveKnownCounts)
+{
+    const WorkloadSpec &spec = findWorkload("sieve");
+    // 168 primes below 1000; the largest is 997.
+    EXPECT_EQ(runWorkload(spec, 1000), 168 * 1000000 + 997);
+    // 25 primes below 100; the largest is 97.
+    EXPECT_EQ(runWorkload(spec, 100), 25 * 1000000 + 97);
+}
+
+TEST(WorkloadResults, BinaryTreesNodeCount)
+{
+    const WorkloadSpec &spec = findWorkload("binary_trees");
+    // For depth 4: long-lived tree check = 2^5 - 1 = 31; stretch
+    // iterations contribute deterministically. Just pin the value.
+    int64_t r4 = runWorkload(spec, 4);
+    EXPECT_EQ(r4, runWorkload(spec, 4));
+    EXPECT_GT(r4, 0);
+}
+
+TEST(WorkloadResults, FannkuchKnownMaxFlips)
+{
+    const WorkloadSpec &spec = findWorkload("fannkuch");
+    // Known fannkuch results: max flips for n=5 is 7, n=6 is 10.
+    EXPECT_EQ(runWorkload(spec, 5) / 1000, 7);
+    EXPECT_EQ(runWorkload(spec, 6) / 1000, 10);
+}
+
+TEST(WorkloadResults, ChaosInsideCountIsPlausible)
+{
+    const WorkloadSpec &spec = findWorkload("chaos");
+    int64_t inside = runWorkload(spec, 16);
+    EXPECT_GT(inside, 0);
+    EXPECT_LT(inside, 16 * 16);
+}
+
+TEST(WorkloadMeta, SuiteShape)
+{
+    EXPECT_EQ(suite().size(), 19u);
+    for (const auto &w : suite()) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_FALSE(w.description.empty());
+        EXPECT_GT(w.defaultSize, 0);
+        EXPECT_GT(w.testSize, 0);
+        EXPECT_LE(w.testSize, w.defaultSize);
+    }
+    EXPECT_THROW(findWorkload("nope"), rigor::FatalError);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace rigor

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * rigorbench — command-line front end to the framework.
+ *
+ *   rigorbench list
+ *   rigorbench disasm <workload>
+ *   rigorbench run <workload> [options]
+ *   rigorbench compare <workload> [options]
+ *   rigorbench sequential <workload> [options]
+ *   rigorbench suite [options]
+ *
+ * Common options:
+ *   --tier interp|adaptive   (run only; default interp)
+ *   --invocations N          (default 8)
+ *   --iterations N           (default 20)
+ *   --size N                 (default: workload's defaultSize)
+ *   --seed S                 (default 0xc0ffee)
+ *   --jit-threshold N        (default 4000)
+ *   --target PCT             (sequential only; default 2)
+ *   --json FILE              dump the raw run as JSON
+ *   --csv FILE               dump per-iteration samples as CSV
+ *   --no-noise               disable the measurement-noise model
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/analysis.hh"
+#include "harness/envcheck.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/sequential.hh"
+#include "support/logging.hh"
+#include "support/str.hh"
+#include "support/table.hh"
+#include "vm/compiler.hh"
+
+using namespace rigor;
+
+namespace {
+
+struct Options
+{
+    std::string command;
+    std::string workload;
+    vm::Tier tier = vm::Tier::Interp;
+    int invocations = 8;
+    int iterations = 20;
+    int64_t size = 0;
+    uint64_t seed = 0xc0ffee;
+    int jitThreshold = 4000;
+    double targetPct = 2.0;
+    std::string jsonPath;
+    std::string csvPath;
+    bool noNoise = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: rigorbench <list|env|disasm|run|compare|"
+        "sequential|suite> [workload] [options]\n"
+        "options: --tier interp|adaptive --invocations N "
+        "--iterations N --size N\n"
+        "         --seed S --jit-threshold N --target PCT "
+        "--json FILE --csv FILE --no-noise\n");
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    if (argc < 2)
+        usage();
+    opt.command = argv[1];
+    int i = 2;
+    if (i < argc && argv[i][0] != '-')
+        opt.workload = argv[i++];
+    for (; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (a == "--tier") {
+            std::string t = next();
+            if (t == "interp")
+                opt.tier = vm::Tier::Interp;
+            else if (t == "adaptive")
+                opt.tier = vm::Tier::Adaptive;
+            else
+                usage();
+        } else if (a == "--invocations") {
+            opt.invocations = std::atoi(next());
+        } else if (a == "--iterations") {
+            opt.iterations = std::atoi(next());
+        } else if (a == "--size") {
+            opt.size = std::atoll(next());
+        } else if (a == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--jit-threshold") {
+            opt.jitThreshold = std::atoi(next());
+        } else if (a == "--target") {
+            opt.targetPct = std::atof(next());
+        } else if (a == "--json") {
+            opt.jsonPath = next();
+        } else if (a == "--csv") {
+            opt.csvPath = next();
+        } else if (a == "--no-noise") {
+            opt.noNoise = true;
+        } else {
+            usage();
+        }
+    }
+    return opt;
+}
+
+harness::RunnerConfig
+makeConfig(const Options &opt, vm::Tier tier)
+{
+    harness::RunnerConfig cfg;
+    cfg.invocations = opt.invocations;
+    cfg.iterations = opt.iterations;
+    cfg.tier = tier;
+    cfg.size = opt.size;
+    cfg.seed = opt.seed;
+    cfg.jitThreshold = opt.jitThreshold;
+    cfg.noise.enabled = !opt.noNoise;
+    return cfg;
+}
+
+void
+dumpOutputs(const Options &opt, const harness::RunResult &run)
+{
+    if (!opt.jsonPath.empty()) {
+        std::ofstream os(opt.jsonPath);
+        if (!os)
+            fatal("cannot write %s", opt.jsonPath.c_str());
+        os << harness::runToJson(run).dump(2) << "\n";
+        std::printf("wrote %s\n", opt.jsonPath.c_str());
+    }
+    if (!opt.csvPath.empty()) {
+        std::ofstream os(opt.csvPath);
+        if (!os)
+            fatal("cannot write %s", opt.csvPath.c_str());
+        harness::writeSeriesCsv(os, run);
+        std::printf("wrote %s\n", opt.csvPath.c_str());
+    }
+}
+
+void
+printEstimate(const harness::RunResult &run)
+{
+    auto est = harness::rigorousEstimate(run);
+    const auto &ss = est.steadyState;
+    std::printf("%s / %s  (%zu invocations x %zu iterations, "
+                "size %lld)\n",
+                run.workload.c_str(), vm::tierName(run.tier),
+                run.invocations.size(),
+                run.invocations.front().samples.size(),
+                static_cast<long long>(run.size));
+    std::printf("  time/iter: %s ms   (%s)\n",
+                harness::formatCi(est.ci, 4).c_str(),
+                harness::formatCiPercent(est.ci, 4).c_str());
+    std::printf("  series: %d flat, %d warmup, %d slowdown, "
+                "%d no-steady-state; mean warmup %.1f iters\n",
+                ss.flat, ss.warmup, ss.slowdown, ss.noSteadyState,
+                ss.meanSteadyStart);
+    std::printf("  first invocation: %s\n",
+                harness::sparkline(run.invocations.front().times())
+                    .c_str());
+}
+
+int
+cmdEnv()
+{
+    harness::EnvReport report = harness::collectEnvironment();
+    std::printf("%s", report.render().c_str());
+    std::printf("%d warning(s)\n", report.warningCount());
+    return 0;
+}
+
+int
+cmdList()
+{
+    Table t({"name", "category", "default size", "description"});
+    for (const auto &w : workloads::suite()) {
+        t.addRow({w.name, workloads::categoryName(w.category),
+                  std::to_string(w.defaultSize), w.description});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdDisasm(const Options &opt)
+{
+    const auto &spec = workloads::findWorkload(opt.workload);
+    vm::Program prog = vm::compileSource(spec.source, spec.name);
+    std::printf("%s", prog.module->disassemble().c_str());
+    return 0;
+}
+
+int
+cmdRun(const Options &opt)
+{
+    auto run = harness::runExperiment(opt.workload,
+                                      makeConfig(opt, opt.tier));
+    printEstimate(run);
+    dumpOutputs(opt, run);
+    return 0;
+}
+
+int
+cmdCompare(const Options &opt)
+{
+    auto interp = harness::runExperiment(
+        opt.workload, makeConfig(opt, vm::Tier::Interp));
+    auto jit = harness::runExperiment(
+        opt.workload, makeConfig(opt, vm::Tier::Adaptive));
+    printEstimate(interp);
+    printEstimate(jit);
+    auto s = harness::rigorousSpeedup(interp, jit);
+    std::printf("speedup (adaptive over interp): %s %s\n",
+                harness::formatCi(s.ci, 3).c_str(),
+                s.significant ? "(significant)"
+                              : "(not significant)");
+    return 0;
+}
+
+int
+cmdSequential(const Options &opt)
+{
+    harness::SequentialConfig seq;
+    seq.targetRelativeHalfWidth = opt.targetPct / 100.0;
+    seq.maxInvocations = std::max(opt.invocations, 8);
+    auto res = harness::runSequential(
+        opt.workload, makeConfig(opt, opt.tier), seq);
+    printEstimate(res.run);
+    std::printf("  sequential: %s after %d invocations "
+                "(target ±%.1f%%)\n",
+                res.converged ? "converged" : "budget exhausted",
+                res.invocationsUsed, opt.targetPct);
+    std::printf("  width trajectory:");
+    for (double w : res.widthTrajectory)
+        std::printf(" %.2f%%", 100.0 * w);
+    std::printf("\n");
+    dumpOutputs(opt, res.run);
+    return 0;
+}
+
+int
+cmdSuite(const Options &opt)
+{
+    Table t({"benchmark", "interp ms", "adaptive ms",
+             "speedup (95% CI)", "sig"});
+    std::vector<harness::SpeedupResult> speedups;
+    for (const auto &w : workloads::suite()) {
+        Options o = opt;
+        o.workload = w.name;
+        auto interp = harness::runExperiment(
+            w.name, makeConfig(o, vm::Tier::Interp));
+        auto jit = harness::runExperiment(
+            w.name, makeConfig(o, vm::Tier::Adaptive));
+        auto ie = harness::rigorousEstimate(interp);
+        auto je = harness::rigorousEstimate(jit);
+        auto s = harness::rigorousSpeedup(interp, jit);
+        speedups.push_back(s);
+        t.addRow({w.name, fmtDouble(ie.ci.estimate, 4),
+                  fmtDouble(je.ci.estimate, 4),
+                  harness::formatCi(s.ci, 2),
+                  s.significant ? "y" : "n"});
+    }
+    std::printf("%s", t.render().c_str());
+    auto geo = harness::geomeanSpeedup(speedups);
+    std::printf("geomean speedup: %s\n",
+                harness::formatCi(geo, 2).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Options opt = parseArgs(argc, argv);
+        if (opt.command == "list")
+            return cmdList();
+        if (opt.command == "env")
+            return cmdEnv();
+        if (opt.workload.empty() && opt.command != "suite")
+            usage();
+        if (opt.command == "disasm")
+            return cmdDisasm(opt);
+        if (opt.command == "run")
+            return cmdRun(opt);
+        if (opt.command == "compare")
+            return cmdCompare(opt);
+        if (opt.command == "sequential")
+            return cmdSequential(opt);
+        if (opt.command == "suite")
+            return cmdSuite(opt);
+        usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
