@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jit_threshold.dir/ablation_jit_threshold.cc.o"
+  "CMakeFiles/ablation_jit_threshold.dir/ablation_jit_threshold.cc.o.d"
+  "ablation_jit_threshold"
+  "ablation_jit_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jit_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_outliers.dir/ablation_outliers.cc.o"
+  "CMakeFiles/ablation_outliers.dir/ablation_outliers.cc.o.d"
+  "ablation_outliers"
+  "ablation_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

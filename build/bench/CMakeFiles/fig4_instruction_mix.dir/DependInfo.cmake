@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_instruction_mix.cc" "bench/CMakeFiles/fig4_instruction_mix.dir/fig4_instruction_mix.cc.o" "gcc" "bench/CMakeFiles/fig4_instruction_mix.dir/fig4_instruction_mix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/rigor_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rigor_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/rigor_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rigor_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/rigor_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rigor_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

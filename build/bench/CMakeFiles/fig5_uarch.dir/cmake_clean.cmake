@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_uarch.dir/fig5_uarch.cc.o"
+  "CMakeFiles/fig5_uarch.dir/fig5_uarch.cc.o.d"
+  "fig5_uarch"
+  "fig5_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

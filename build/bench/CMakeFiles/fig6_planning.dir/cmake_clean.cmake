@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_planning.dir/fig6_planning.cc.o"
+  "CMakeFiles/fig6_planning.dir/fig6_planning.cc.o.d"
+  "fig6_planning"
+  "fig6_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

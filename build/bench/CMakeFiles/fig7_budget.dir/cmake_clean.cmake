@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_budget.dir/fig7_budget.cc.o"
+  "CMakeFiles/fig7_budget.dir/fig7_budget.cc.o.d"
+  "fig7_budget"
+  "fig7_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

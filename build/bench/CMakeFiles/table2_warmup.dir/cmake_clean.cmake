@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_warmup.dir/table2_warmup.cc.o"
+  "CMakeFiles/table2_warmup.dir/table2_warmup.cc.o.d"
+  "table2_warmup"
+  "table2_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_methodology.dir/table3_methodology.cc.o"
+  "CMakeFiles/table3_methodology.dir/table3_methodology.cc.o.d"
+  "table3_methodology"
+  "table3_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

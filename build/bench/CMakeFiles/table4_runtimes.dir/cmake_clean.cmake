@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_runtimes.dir/table4_runtimes.cc.o"
+  "CMakeFiles/table4_runtimes.dir/table4_runtimes.cc.o.d"
+  "table4_runtimes"
+  "table4_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methodology_pitfalls.dir/methodology_pitfalls.cpp.o"
+  "CMakeFiles/methodology_pitfalls.dir/methodology_pitfalls.cpp.o.d"
+  "methodology_pitfalls"
+  "methodology_pitfalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology_pitfalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_characterization.dir/uarch_characterization.cpp.o"
+  "CMakeFiles/uarch_characterization.dir/uarch_characterization.cpp.o.d"
+  "uarch_characterization"
+  "uarch_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warmup_analysis.dir/warmup_analysis.cpp.o"
+  "CMakeFiles/warmup_analysis.dir/warmup_analysis.cpp.o.d"
+  "warmup_analysis"
+  "warmup_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warmup_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/analysis.cc" "src/harness/CMakeFiles/rigor_harness.dir/analysis.cc.o" "gcc" "src/harness/CMakeFiles/rigor_harness.dir/analysis.cc.o.d"
+  "/root/repo/src/harness/envcheck.cc" "src/harness/CMakeFiles/rigor_harness.dir/envcheck.cc.o" "gcc" "src/harness/CMakeFiles/rigor_harness.dir/envcheck.cc.o.d"
+  "/root/repo/src/harness/measurement.cc" "src/harness/CMakeFiles/rigor_harness.dir/measurement.cc.o" "gcc" "src/harness/CMakeFiles/rigor_harness.dir/measurement.cc.o.d"
+  "/root/repo/src/harness/noise.cc" "src/harness/CMakeFiles/rigor_harness.dir/noise.cc.o" "gcc" "src/harness/CMakeFiles/rigor_harness.dir/noise.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/harness/CMakeFiles/rigor_harness.dir/report.cc.o" "gcc" "src/harness/CMakeFiles/rigor_harness.dir/report.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/harness/CMakeFiles/rigor_harness.dir/runner.cc.o" "gcc" "src/harness/CMakeFiles/rigor_harness.dir/runner.cc.o.d"
+  "/root/repo/src/harness/sequential.cc" "src/harness/CMakeFiles/rigor_harness.dir/sequential.cc.o" "gcc" "src/harness/CMakeFiles/rigor_harness.dir/sequential.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/rigor_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/rigor_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rigor_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/rigor_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rigor_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rigor_harness.dir/analysis.cc.o"
+  "CMakeFiles/rigor_harness.dir/analysis.cc.o.d"
+  "CMakeFiles/rigor_harness.dir/envcheck.cc.o"
+  "CMakeFiles/rigor_harness.dir/envcheck.cc.o.d"
+  "CMakeFiles/rigor_harness.dir/measurement.cc.o"
+  "CMakeFiles/rigor_harness.dir/measurement.cc.o.d"
+  "CMakeFiles/rigor_harness.dir/noise.cc.o"
+  "CMakeFiles/rigor_harness.dir/noise.cc.o.d"
+  "CMakeFiles/rigor_harness.dir/report.cc.o"
+  "CMakeFiles/rigor_harness.dir/report.cc.o.d"
+  "CMakeFiles/rigor_harness.dir/runner.cc.o"
+  "CMakeFiles/rigor_harness.dir/runner.cc.o.d"
+  "CMakeFiles/rigor_harness.dir/sequential.cc.o"
+  "CMakeFiles/rigor_harness.dir/sequential.cc.o.d"
+  "librigor_harness.a"
+  "librigor_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rigor_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ci.cc" "src/stats/CMakeFiles/rigor_stats.dir/ci.cc.o" "gcc" "src/stats/CMakeFiles/rigor_stats.dir/ci.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/rigor_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/rigor_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/rigor_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/rigor_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/hierarchy.cc" "src/stats/CMakeFiles/rigor_stats.dir/hierarchy.cc.o" "gcc" "src/stats/CMakeFiles/rigor_stats.dir/hierarchy.cc.o.d"
+  "/root/repo/src/stats/steady_state.cc" "src/stats/CMakeFiles/rigor_stats.dir/steady_state.cc.o" "gcc" "src/stats/CMakeFiles/rigor_stats.dir/steady_state.cc.o.d"
+  "/root/repo/src/stats/tests.cc" "src/stats/CMakeFiles/rigor_stats.dir/tests.cc.o" "gcc" "src/stats/CMakeFiles/rigor_stats.dir/tests.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rigor_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rigor_stats.dir/ci.cc.o"
+  "CMakeFiles/rigor_stats.dir/ci.cc.o.d"
+  "CMakeFiles/rigor_stats.dir/descriptive.cc.o"
+  "CMakeFiles/rigor_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/rigor_stats.dir/distributions.cc.o"
+  "CMakeFiles/rigor_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/rigor_stats.dir/hierarchy.cc.o"
+  "CMakeFiles/rigor_stats.dir/hierarchy.cc.o.d"
+  "CMakeFiles/rigor_stats.dir/steady_state.cc.o"
+  "CMakeFiles/rigor_stats.dir/steady_state.cc.o.d"
+  "CMakeFiles/rigor_stats.dir/tests.cc.o"
+  "CMakeFiles/rigor_stats.dir/tests.cc.o.d"
+  "librigor_stats.a"
+  "librigor_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rigor_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rigor_support.dir/csv.cc.o"
+  "CMakeFiles/rigor_support.dir/csv.cc.o.d"
+  "CMakeFiles/rigor_support.dir/json.cc.o"
+  "CMakeFiles/rigor_support.dir/json.cc.o.d"
+  "CMakeFiles/rigor_support.dir/logging.cc.o"
+  "CMakeFiles/rigor_support.dir/logging.cc.o.d"
+  "CMakeFiles/rigor_support.dir/rng.cc.o"
+  "CMakeFiles/rigor_support.dir/rng.cc.o.d"
+  "CMakeFiles/rigor_support.dir/str.cc.o"
+  "CMakeFiles/rigor_support.dir/str.cc.o.d"
+  "CMakeFiles/rigor_support.dir/table.cc.o"
+  "CMakeFiles/rigor_support.dir/table.cc.o.d"
+  "librigor_support.a"
+  "librigor_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rigor_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

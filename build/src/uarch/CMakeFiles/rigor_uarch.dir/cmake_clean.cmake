@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rigor_uarch.dir/branch.cc.o"
+  "CMakeFiles/rigor_uarch.dir/branch.cc.o.d"
+  "CMakeFiles/rigor_uarch.dir/cache.cc.o"
+  "CMakeFiles/rigor_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/rigor_uarch.dir/counters.cc.o"
+  "CMakeFiles/rigor_uarch.dir/counters.cc.o.d"
+  "CMakeFiles/rigor_uarch.dir/perf_model.cc.o"
+  "CMakeFiles/rigor_uarch.dir/perf_model.cc.o.d"
+  "librigor_uarch.a"
+  "librigor_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rigor_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/builtins.cc" "src/vm/CMakeFiles/rigor_vm.dir/builtins.cc.o" "gcc" "src/vm/CMakeFiles/rigor_vm.dir/builtins.cc.o.d"
+  "/root/repo/src/vm/code.cc" "src/vm/CMakeFiles/rigor_vm.dir/code.cc.o" "gcc" "src/vm/CMakeFiles/rigor_vm.dir/code.cc.o.d"
+  "/root/repo/src/vm/compiler.cc" "src/vm/CMakeFiles/rigor_vm.dir/compiler.cc.o" "gcc" "src/vm/CMakeFiles/rigor_vm.dir/compiler.cc.o.d"
+  "/root/repo/src/vm/interp.cc" "src/vm/CMakeFiles/rigor_vm.dir/interp.cc.o" "gcc" "src/vm/CMakeFiles/rigor_vm.dir/interp.cc.o.d"
+  "/root/repo/src/vm/lexer.cc" "src/vm/CMakeFiles/rigor_vm.dir/lexer.cc.o" "gcc" "src/vm/CMakeFiles/rigor_vm.dir/lexer.cc.o.d"
+  "/root/repo/src/vm/parser.cc" "src/vm/CMakeFiles/rigor_vm.dir/parser.cc.o" "gcc" "src/vm/CMakeFiles/rigor_vm.dir/parser.cc.o.d"
+  "/root/repo/src/vm/value.cc" "src/vm/CMakeFiles/rigor_vm.dir/value.cc.o" "gcc" "src/vm/CMakeFiles/rigor_vm.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rigor_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

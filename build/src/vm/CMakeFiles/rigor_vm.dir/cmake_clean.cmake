@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rigor_vm.dir/builtins.cc.o"
+  "CMakeFiles/rigor_vm.dir/builtins.cc.o.d"
+  "CMakeFiles/rigor_vm.dir/code.cc.o"
+  "CMakeFiles/rigor_vm.dir/code.cc.o.d"
+  "CMakeFiles/rigor_vm.dir/compiler.cc.o"
+  "CMakeFiles/rigor_vm.dir/compiler.cc.o.d"
+  "CMakeFiles/rigor_vm.dir/interp.cc.o"
+  "CMakeFiles/rigor_vm.dir/interp.cc.o.d"
+  "CMakeFiles/rigor_vm.dir/lexer.cc.o"
+  "CMakeFiles/rigor_vm.dir/lexer.cc.o.d"
+  "CMakeFiles/rigor_vm.dir/parser.cc.o"
+  "CMakeFiles/rigor_vm.dir/parser.cc.o.d"
+  "CMakeFiles/rigor_vm.dir/value.cc.o"
+  "CMakeFiles/rigor_vm.dir/value.cc.o.d"
+  "librigor_vm.a"
+  "librigor_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rigor_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

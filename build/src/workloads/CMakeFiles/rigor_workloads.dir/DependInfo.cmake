@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/wl_data.cc" "src/workloads/CMakeFiles/rigor_workloads.dir/wl_data.cc.o" "gcc" "src/workloads/CMakeFiles/rigor_workloads.dir/wl_data.cc.o.d"
+  "/root/repo/src/workloads/wl_extra.cc" "src/workloads/CMakeFiles/rigor_workloads.dir/wl_extra.cc.o" "gcc" "src/workloads/CMakeFiles/rigor_workloads.dir/wl_extra.cc.o.d"
+  "/root/repo/src/workloads/wl_numeric.cc" "src/workloads/CMakeFiles/rigor_workloads.dir/wl_numeric.cc.o" "gcc" "src/workloads/CMakeFiles/rigor_workloads.dir/wl_numeric.cc.o.d"
+  "/root/repo/src/workloads/wl_oo.cc" "src/workloads/CMakeFiles/rigor_workloads.dir/wl_oo.cc.o" "gcc" "src/workloads/CMakeFiles/rigor_workloads.dir/wl_oo.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/rigor_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/rigor_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/rigor_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rigor_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rigor_workloads.dir/wl_data.cc.o"
+  "CMakeFiles/rigor_workloads.dir/wl_data.cc.o.d"
+  "CMakeFiles/rigor_workloads.dir/wl_extra.cc.o"
+  "CMakeFiles/rigor_workloads.dir/wl_extra.cc.o.d"
+  "CMakeFiles/rigor_workloads.dir/wl_numeric.cc.o"
+  "CMakeFiles/rigor_workloads.dir/wl_numeric.cc.o.d"
+  "CMakeFiles/rigor_workloads.dir/wl_oo.cc.o"
+  "CMakeFiles/rigor_workloads.dir/wl_oo.cc.o.d"
+  "CMakeFiles/rigor_workloads.dir/workloads.cc.o"
+  "CMakeFiles/rigor_workloads.dir/workloads.cc.o.d"
+  "librigor_workloads.a"
+  "librigor_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rigor_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

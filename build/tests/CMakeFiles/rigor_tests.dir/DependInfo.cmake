@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/envcheck_test.cc" "tests/CMakeFiles/rigor_tests.dir/envcheck_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/envcheck_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/rigor_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/sequential_test.cc" "tests/CMakeFiles/rigor_tests.dir/sequential_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/sequential_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/rigor_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/steady_state_test.cc" "tests/CMakeFiles/rigor_tests.dir/steady_state_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/steady_state_test.cc.o.d"
+  "/root/repo/tests/support_test.cc" "tests/CMakeFiles/rigor_tests.dir/support_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/support_test.cc.o.d"
+  "/root/repo/tests/uarch_test.cc" "tests/CMakeFiles/rigor_tests.dir/uarch_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/uarch_test.cc.o.d"
+  "/root/repo/tests/vm_differential_test.cc" "tests/CMakeFiles/rigor_tests.dir/vm_differential_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/vm_differential_test.cc.o.d"
+  "/root/repo/tests/vm_exceptions_test.cc" "tests/CMakeFiles/rigor_tests.dir/vm_exceptions_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/vm_exceptions_test.cc.o.d"
+  "/root/repo/tests/vm_interp_test.cc" "tests/CMakeFiles/rigor_tests.dir/vm_interp_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/vm_interp_test.cc.o.d"
+  "/root/repo/tests/vm_jit_test.cc" "tests/CMakeFiles/rigor_tests.dir/vm_jit_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/vm_jit_test.cc.o.d"
+  "/root/repo/tests/vm_lexer_test.cc" "tests/CMakeFiles/rigor_tests.dir/vm_lexer_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/vm_lexer_test.cc.o.d"
+  "/root/repo/tests/vm_parser_compiler_test.cc" "tests/CMakeFiles/rigor_tests.dir/vm_parser_compiler_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/vm_parser_compiler_test.cc.o.d"
+  "/root/repo/tests/vm_value_test.cc" "tests/CMakeFiles/rigor_tests.dir/vm_value_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/vm_value_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/rigor_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/rigor_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rigor_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rigor_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/rigor_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/rigor_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rigor_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rigor_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rigorbench.dir/rigorbench.cc.o"
+  "CMakeFiles/rigorbench.dir/rigorbench.cc.o.d"
+  "rigorbench"
+  "rigorbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rigorbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
