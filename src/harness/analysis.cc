@@ -89,8 +89,14 @@ allMethodologies()
 RigorousEstimate
 rigorousEstimate(const RunResult &run, double confidence)
 {
+    // With fault-tolerant execution a run can legitimately end up with
+    // zero successful invocations (everything failed or the workload
+    // was quarantined). That is a reportable condition, not a bug.
     if (run.invocations.empty())
-        panic("rigorousEstimate: empty run");
+        fatal("rigorousEstimate: run of %s has no successful "
+              "invocations (%zu failure(s)%s)",
+              run.workload.c_str(), run.failures.size(),
+              run.quarantined ? ", quarantined" : "");
 
     RigorousEstimate out;
     out.steadyState = analyzeSteadyState(run);

@@ -1,0 +1,173 @@
+#include "harness/fault.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/str.hh"
+
+namespace rigor {
+namespace harness {
+
+namespace {
+
+/** FNV-1a, so probability draws depend on the workload name. */
+uint64_t
+hashString(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+double
+parseNumber(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fatal("fault spec: %s expects a number, got '%s'", key.c_str(),
+              value.c_str());
+    return v;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::Throw: return "throw";
+      case FaultKind::CorruptChecksum: return "checksum";
+      case FaultKind::Stall: return "stall";
+      case FaultKind::NoiseRamp: return "ramp";
+    }
+    return "?";
+}
+
+double
+FaultSpec::effectiveMagnitude() const
+{
+    if (magnitude > 0.0)
+        return magnitude;
+    switch (kind) {
+      case FaultKind::Stall: return 1000.0;
+      case FaultKind::NoiseRamp: return 0.05;
+      default: return 0.0;
+    }
+}
+
+FaultSpec
+FaultPlan::parseSpec(const std::string &text)
+{
+    auto parts = split(text, ':');
+    if (parts.empty() || parts[0].empty())
+        fatal("fault spec: empty specification");
+
+    FaultSpec spec;
+    const std::string &kind = parts[0];
+    if (kind == "throw")
+        spec.kind = FaultKind::Throw;
+    else if (kind == "checksum")
+        spec.kind = FaultKind::CorruptChecksum;
+    else if (kind == "stall")
+        spec.kind = FaultKind::Stall;
+    else if (kind == "ramp")
+        spec.kind = FaultKind::NoiseRamp;
+    else
+        fatal("fault spec: unknown kind '%s' (expected throw, "
+              "checksum, stall or ramp)",
+              kind.c_str());
+
+    for (size_t i = 1; i < parts.size(); ++i) {
+        auto eq = parts[i].find('=');
+        if (eq == std::string::npos)
+            fatal("fault spec: expected key=value, got '%s'",
+                  parts[i].c_str());
+        std::string key = parts[i].substr(0, eq);
+        std::string value = parts[i].substr(eq + 1);
+        if (key == "wl") {
+            spec.workload = value;
+        } else if (key == "inv") {
+            spec.invocation =
+                static_cast<int>(parseNumber(key, value));
+            if (spec.invocation < 0)
+                fatal("fault spec: inv must be >= 0");
+        } else if (key == "n") {
+            spec.maxTriggers =
+                static_cast<int>(parseNumber(key, value));
+            if (spec.maxTriggers < 1)
+                fatal("fault spec: n must be >= 1");
+        } else if (key == "p") {
+            spec.probability = parseNumber(key, value);
+            if (spec.probability < 0.0 || spec.probability > 1.0)
+                fatal("fault spec: p must be in [0, 1]");
+        } else if (key == "mag") {
+            spec.magnitude = parseNumber(key, value);
+            if (spec.magnitude <= 0.0)
+                fatal("fault spec: mag must be positive");
+        } else {
+            fatal("fault spec: unknown key '%s' (expected wl, inv, "
+                  "n, p or mag)",
+                  key.c_str());
+        }
+    }
+    return spec;
+}
+
+void
+FaultPlan::add(const std::string &text)
+{
+    faults.push_back(parseSpec(text));
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed)
+{}
+
+const FaultSpec *
+FaultInjector::query(const std::string &workload, int invocation,
+                     int attempt) const
+{
+    for (const auto &spec : plan_.faults) {
+        if (!spec.workload.empty() && spec.workload != workload)
+            continue;
+        if (spec.invocation >= 0 && spec.invocation != invocation)
+            continue;
+        if (attempt >= spec.maxTriggers)
+            continue;
+        if (spec.probability < 1.0) {
+            // Stateless seeded draw: the same (seed, workload,
+            // invocation, attempt) always decides the same way.
+            SplitMix64 sm(seed_ ^ hashString(workload) ^
+                          (static_cast<uint64_t>(invocation) *
+                           0x9e3779b97f4a7c15ULL) ^
+                          (static_cast<uint64_t>(attempt) + 1));
+            double draw = static_cast<double>(sm.next() >> 11) *
+                0x1.0p-53;
+            if (draw >= spec.probability)
+                continue;
+        }
+        return &spec;
+    }
+    return nullptr;
+}
+
+double
+FaultInjector::timeFactor(const FaultSpec &fault, int iteration)
+{
+    switch (fault.kind) {
+      case FaultKind::Stall:
+        return fault.effectiveMagnitude();
+      case FaultKind::NoiseRamp:
+        return 1.0 + fault.effectiveMagnitude() * iteration;
+      default:
+        return 1.0;
+    }
+}
+
+} // namespace harness
+} // namespace rigor

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic fault injection with known ground truth.
+ *
+ * The same property that makes the noise model useful — parameters are
+ * *injected*, so tests can assert that the methodology recovers them —
+ * applies to failures. A FaultPlan describes which invocation attempts
+ * of which workloads misbehave and how; the FaultInjector arms those
+ * faults deterministically (optionally with a seeded per-attempt
+ * probability), so tests can prove the harness detects, retries and
+ * quarantines exactly as designed.
+ *
+ * Fault kinds mirror the pathologies a real benchmarking campaign
+ * meets: a crash mid-run (Throw), silently wrong results
+ * (CorruptChecksum), a hang (Stall, caught by the modelled-time
+ * deadline), and a pathological noise regime (NoiseRamp, a
+ * thermal-throttle-style linear slowdown the steady-state detector
+ * must flag).
+ */
+
+#ifndef RIGOR_HARNESS_FAULT_HH
+#define RIGOR_HARNESS_FAULT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rigor {
+namespace harness {
+
+/** What a fault does to the invocation attempt it arms. */
+enum class FaultKind
+{
+    Throw,           ///< throw a VmError at invocation start
+    CorruptChecksum, ///< flip bits in the recorded workload checksum
+    Stall,           ///< scale modelled time (trips the deadline)
+    NoiseRamp,       ///< linear per-iteration slowdown ramp
+};
+
+/** Short name of a fault kind ("throw", "checksum", ...). */
+const char *faultKindName(FaultKind k);
+
+/** One injection rule. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::Throw;
+    /** Workload to target; empty matches every workload. */
+    std::string workload;
+    /** Invocation index to target; -1 matches every invocation. */
+    int invocation = -1;
+    /**
+     * Number of attempts of a matching invocation that fire (attempts
+     * 0..maxTriggers-1). 1 means "fail once, succeed on retry"; a
+     * large value makes the invocation fail permanently.
+     */
+    int maxTriggers = 1;
+    /** Per-attempt arming probability (seeded, deterministic). */
+    double probability = 1.0;
+    /**
+     * Kind-specific magnitude; 0 selects the default:
+     * Stall -> 1000 (x1000 modelled time), NoiseRamp -> 0.05
+     * (each iteration 5% slower than the last). Unused by Throw and
+     * CorruptChecksum.
+     */
+    double magnitude = 0.0;
+
+    /** Magnitude with the kind default applied. */
+    double effectiveMagnitude() const;
+};
+
+/** An ordered list of injection rules. */
+struct FaultPlan
+{
+    std::vector<FaultSpec> faults;
+
+    bool empty() const { return faults.empty(); }
+
+    /**
+     * Parse one CLI fault spec of the form
+     *
+     *   kind[:key=value]...
+     *
+     * where kind is throw|checksum|stall|ramp and keys are
+     * wl=NAME, inv=N, n=COUNT (maxTriggers), p=PROB, mag=X.
+     * Examples: "throw:wl=sieve:inv=0", "checksum:inv=1",
+     * "stall:mag=500", "ramp:p=0.5".
+     * @throws FatalError on malformed specs.
+     */
+    static FaultSpec parseSpec(const std::string &text);
+
+    /** Parse and append one spec. */
+    void add(const std::string &text);
+};
+
+/**
+ * Decides, statelessly and deterministically, whether a fault arms for
+ * a given (workload, invocation, attempt). Stateless queries mean the
+ * injector can be shared by concurrent runs and replayed exactly.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultPlan plan, uint64_t seed);
+
+    /**
+     * First spec armed for this attempt, or nullptr. Probability draws
+     * are a pure function of (seed, workload, invocation, attempt).
+     */
+    const FaultSpec *query(const std::string &workload, int invocation,
+                           int attempt) const;
+
+    /**
+     * Multiplicative modelled-time factor a Stall/NoiseRamp fault
+     * applies to iteration `iteration` (1.0 for other kinds).
+     */
+    static double timeFactor(const FaultSpec &fault, int iteration);
+
+    const FaultPlan &plan() const { return plan_; }
+    uint64_t seed() const { return seed_; }
+
+  private:
+    FaultPlan plan_;
+    uint64_t seed_;
+};
+
+} // namespace harness
+} // namespace rigor
+
+#endif // RIGOR_HARNESS_FAULT_HH

@@ -3,6 +3,17 @@
 namespace rigor {
 namespace harness {
 
+const char *
+failureKindName(FailureKind k)
+{
+    switch (k) {
+      case FailureKind::VmError: return "vm-error";
+      case FailureKind::ChecksumMismatch: return "checksum-mismatch";
+      case FailureKind::DeadlineExceeded: return "deadline-exceeded";
+    }
+    return "?";
+}
+
 std::vector<double>
 InvocationResult::times() const
 {

@@ -18,6 +18,39 @@
 namespace rigor {
 namespace harness {
 
+/** Why an invocation attempt failed. */
+enum class FailureKind
+{
+    VmError,          ///< the VM raised an error mid-run
+    ChecksumMismatch, ///< workload result diverged (iteration or
+                      ///< cross-invocation)
+    DeadlineExceeded, ///< modelled time passed the per-invocation
+                      ///< deadline
+};
+
+/** Short name of a failure kind ("vm-error", ...). */
+const char *failureKindName(FailureKind k);
+
+/**
+ * Structured record of one failed invocation attempt. Failures are
+ * data, not reasons to abort: they stay attached to the run so reports
+ * can account for them, while the samples of failed attempts are
+ * excluded from every estimate.
+ */
+struct InvocationFailure
+{
+    FailureKind kind = FailureKind::VmError;
+    /** Invocation index whose attempt failed. */
+    int invocation = 0;
+    /** Attempt number (0 = first try, 1 = first retry, ...). */
+    int attempt = 0;
+    /** Seed the failed attempt ran with. */
+    uint64_t seed = 0;
+    /** Modelled backoff delay charged before the next attempt. */
+    double backoffMs = 0.0;
+    std::string message;
+};
+
 /** One in-process iteration's measurements. */
 struct IterationSample
 {
@@ -52,7 +85,23 @@ struct RunResult
     std::string workload;
     vm::Tier tier = vm::Tier::Interp;
     int64_t size = 0;
+    /** Successful invocations only; failed attempts never land here. */
     std::vector<InvocationResult> invocations;
+
+    /** Every failed attempt, in execution order. */
+    std::vector<InvocationFailure> failures;
+    /**
+     * Invocation slots consumed so far, including ones whose every
+     * attempt failed (>= invocations.size()). Seed derivation keys on
+     * this index, so extending a run stays deterministic even when
+     * some invocations failed permanently.
+     */
+    int invocationsAttempted = 0;
+    /** Consecutive permanently-failed invocations (quarantine input). */
+    int consecutiveFailures = 0;
+    /** True once the quarantine threshold tripped; no more attempts. */
+    bool quarantined = false;
+    std::string quarantineReason;
 
     /** series()[i][j]: iteration j of invocation i, in ms. */
     std::vector<std::vector<double>> series() const;

@@ -143,8 +143,49 @@ runToJson(const RunResult &run)
         invs.push(std::move(j));
     }
     root.set("invocations", std::move(invs));
+    // Failure bookkeeping is only emitted when present, so dumps of
+    // clean runs are byte-identical to pre-fault-tolerance archives.
+    if (!run.failures.empty()) {
+        Json fails = Json::array();
+        for (const auto &f : run.failures) {
+            Json j = Json::object();
+            j.set("kind", std::string(failureKindName(f.kind)));
+            j.set("invocation", f.invocation);
+            j.set("attempt", f.attempt);
+            j.set("seed", strprintf("0x%016llx",
+                                    static_cast<unsigned long long>(
+                                        f.seed)));
+            j.set("backoff_ms", f.backoffMs);
+            j.set("message", f.message);
+            fails.push(std::move(j));
+        }
+        root.set("failures", std::move(fails));
+    }
+    if (run.invocationsAttempted >
+        static_cast<int>(run.invocations.size()))
+        root.set("invocations_attempted", run.invocationsAttempted);
+    if (run.quarantined) {
+        root.set("quarantined", true);
+        root.set("quarantine_reason", run.quarantineReason);
+    }
     return root;
 }
+
+namespace {
+
+FailureKind
+failureKindFromName(const std::string &name)
+{
+    if (name == "vm-error")
+        return FailureKind::VmError;
+    if (name == "checksum-mismatch")
+        return FailureKind::ChecksumMismatch;
+    if (name == "deadline-exceeded")
+        return FailureKind::DeadlineExceeded;
+    fatal("unknown failure kind '%s'", name.c_str());
+}
+
+} // namespace
 
 RunResult
 runFromJson(const Json &doc)
@@ -184,9 +225,112 @@ runFromJson(const Json &doc)
             fatal("runFromJson: invocation %zu has no samples", i);
         run.invocations.push_back(std::move(inv));
     }
-    if (run.invocations.empty())
+    if (const Json *fails = doc.get("failures")) {
+        for (size_t i = 0; i < fails->size(); ++i) {
+            const Json &j = fails->at(i);
+            InvocationFailure f;
+            f.kind = failureKindFromName(j.at("kind").asString());
+            f.invocation =
+                static_cast<int>(j.at("invocation").asInt());
+            f.attempt = static_cast<int>(j.at("attempt").asInt());
+            f.seed = static_cast<uint64_t>(
+                std::strtoull(j.at("seed").asString().c_str(),
+                              nullptr, 0));
+            f.backoffMs = j.at("backoff_ms").asDouble();
+            f.message = j.at("message").asString();
+            run.failures.push_back(std::move(f));
+        }
+    }
+    run.invocationsAttempted =
+        static_cast<int>(run.invocations.size());
+    if (const Json *attempted = doc.get("invocations_attempted"))
+        run.invocationsAttempted =
+            static_cast<int>(attempted->asInt());
+    if (const Json *q = doc.get("quarantined"))
+        run.quarantined = q->asBool();
+    if (const Json *r = doc.get("quarantine_reason"))
+        run.quarantineReason = r->asString();
+    // A run with zero successful invocations is only meaningful if it
+    // carries the failure records explaining why.
+    if (run.invocations.empty() && run.failures.empty())
         fatal("runFromJson: no invocations");
     return run;
+}
+
+const SuiteWorkloadState *
+SuiteState::find(const std::string &name) const
+{
+    for (const auto &w : workloads)
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+Json
+suiteStateToJson(const SuiteState &state)
+{
+    Json root = Json::object();
+    root.set("seed", strprintf("0x%016llx",
+                               static_cast<unsigned long long>(
+                                   state.seed)));
+    root.set("invocations", state.invocations);
+    root.set("iterations", state.iterations);
+    Json wls = Json::array();
+    for (const auto &w : state.workloads) {
+        Json j = Json::object();
+        j.set("name", w.name);
+        j.set("failed", w.failed);
+        j.set("quarantined", w.quarantined);
+        j.set("failures", w.failureCount);
+        if (!w.failed) {
+            j.set("interp_ms", w.interpMs);
+            j.set("adaptive_ms", w.adaptiveMs);
+            Json s = Json::object();
+            s.set("estimate", w.speedup.ci.estimate);
+            s.set("lower", w.speedup.ci.lower);
+            s.set("upper", w.speedup.ci.upper);
+            s.set("confidence", w.speedup.ci.confidence);
+            s.set("significant", w.speedup.significant);
+            j.set("speedup", std::move(s));
+        }
+        wls.push(std::move(j));
+    }
+    root.set("workloads", std::move(wls));
+    return root;
+}
+
+SuiteState
+suiteStateFromJson(const Json &doc)
+{
+    SuiteState state;
+    state.seed = static_cast<uint64_t>(
+        std::strtoull(doc.at("seed").asString().c_str(), nullptr, 0));
+    state.invocations =
+        static_cast<int>(doc.at("invocations").asInt());
+    state.iterations = static_cast<int>(doc.at("iterations").asInt());
+    const Json &wls = doc.at("workloads");
+    for (size_t i = 0; i < wls.size(); ++i) {
+        const Json &j = wls.at(i);
+        SuiteWorkloadState w;
+        w.name = j.at("name").asString();
+        if (w.name.empty())
+            fatal("suiteStateFromJson: workload %zu has no name", i);
+        w.failed = j.at("failed").asBool();
+        w.quarantined = j.at("quarantined").asBool();
+        w.failureCount = static_cast<int>(j.at("failures").asInt());
+        if (!w.failed) {
+            w.interpMs = j.at("interp_ms").asDouble();
+            w.adaptiveMs = j.at("adaptive_ms").asDouble();
+            const Json &s = j.at("speedup");
+            w.speedup.ci.estimate = s.at("estimate").asDouble();
+            w.speedup.ci.lower = s.at("lower").asDouble();
+            w.speedup.ci.upper = s.at("upper").asDouble();
+            w.speedup.ci.confidence = s.at("confidence").asDouble();
+            w.speedup.significant = s.at("significant").asBool();
+        }
+        state.workloads.push_back(std::move(w));
+    }
+    return state;
 }
 
 } // namespace harness

@@ -11,6 +11,7 @@
 #include <ostream>
 #include <string>
 
+#include "harness/analysis.hh"
 #include "harness/measurement.hh"
 #include "stats/ci.hh"
 #include "support/json.hh"
@@ -50,6 +51,49 @@ Json runToJson(const RunResult &run);
  * @throws FatalError / PanicError on malformed documents.
  */
 RunResult runFromJson(const Json &doc);
+
+/**
+ * Per-workload entry of a (possibly partial) suite run. `failed` means
+ * no usable estimate exists for the workload; a quarantined or
+ * failure-scarred workload that still produced estimates keeps its
+ * numbers and is flagged instead.
+ */
+struct SuiteWorkloadState
+{
+    std::string name;
+    bool failed = false;
+    bool quarantined = false;
+    /** Invocation failures recorded across both tiers. */
+    int failureCount = 0;
+    double interpMs = 0.0;
+    double adaptiveMs = 0.0;
+    SpeedupResult speedup;
+};
+
+/**
+ * Persistent state of a suite run, written after every workload so an
+ * interrupted suite can be resumed (`rigorbench suite --resume FILE`)
+ * without re-measuring completed workloads. The design parameters are
+ * stored so a resume with mismatched parameters is rejected rather
+ * than silently mixing incomparable measurements.
+ */
+struct SuiteState
+{
+    uint64_t seed = 0;
+    int invocations = 0;
+    int iterations = 0;
+
+    std::vector<SuiteWorkloadState> workloads;
+
+    /** Entry for a workload, or nullptr if not yet measured. */
+    const SuiteWorkloadState *find(const std::string &name) const;
+};
+
+/** Serialize suite state (JSON round-trips via suiteStateFromJson). */
+Json suiteStateToJson(const SuiteState &state);
+
+/** Rebuild suite state; throws FatalError/PanicError on bad input. */
+SuiteState suiteStateFromJson(const Json &doc);
 
 } // namespace harness
 } // namespace rigor

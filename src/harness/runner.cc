@@ -1,7 +1,9 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
 #include <chrono>
 
+#include "harness/fault.hh"
 #include "support/logging.hh"
 #include "vm/compiler.hh"
 
@@ -18,16 +20,43 @@ deriveSeed(uint64_t master, uint64_t stream, uint64_t index)
     return sm.next();
 }
 
-/** Execute one fresh VM invocation of the experiment design. */
+/**
+ * Seed for one invocation attempt. Attempt 0 reproduces the original
+ * single-attempt derivation bit for bit (fault-free runs are
+ * byte-identical to the pre-fault-tolerance harness); retries fork a
+ * fresh stream off the invocation seed.
+ */
+uint64_t
+attemptSeed(const RunnerConfig &config, int invocation, int attempt)
+{
+    uint64_t inv_seed =
+        deriveSeed(config.seed, 1, static_cast<uint64_t>(invocation));
+    if (attempt == 0)
+        return inv_seed;
+    return deriveSeed(inv_seed, 4, static_cast<uint64_t>(attempt));
+}
+
+/** Internal control-flow signal: this attempt failed; retry it. */
+struct InvocationAbort
+{
+    FailureKind kind;
+    std::string message;
+};
+
+/** Execute one VM invocation attempt of the experiment design. */
 InvocationResult
 runOneInvocation(const vm::Program &prog,
                  const workloads::WorkloadSpec &spec,
                  const RunnerConfig &config, int64_t size,
-                 int invocation_index)
+                 int invocation_index, int attempt, uint64_t inv_seed)
 {
-    uint64_t inv_seed =
-        deriveSeed(config.seed, 1,
-                   static_cast<uint64_t>(invocation_index));
+    const FaultSpec *fault = config.faults
+        ? config.faults->query(spec.name, invocation_index, attempt)
+        : nullptr;
+    if (fault && fault->kind == FaultKind::Throw)
+        throw vm::VmError(strprintf(
+            "injected fault: VmError in %s invocation %d attempt %d",
+            spec.name.c_str(), invocation_index, attempt));
 
     vm::InterpConfig icfg;
     icfg.tier = config.tier;
@@ -48,6 +77,7 @@ runOneInvocation(const vm::Program &prog,
     inv_result.samples.reserve(
         static_cast<size_t>(config.iterations));
 
+    double elapsed_ms = 0.0;
     uarch::CounterSet prev = model.snapshot();
     for (int it = 0; it < config.iterations; ++it) {
         auto wall_start = std::chrono::steady_clock::now();
@@ -61,11 +91,13 @@ runOneInvocation(const vm::Program &prog,
         if (inv_result.samples.empty()) {
             inv_result.checksum = checksum;
         } else if (inv_result.checksum != checksum) {
-            panic("workload %s: checksum changed between iterations "
-                  "(%lld vs %lld)",
-                  spec.name.c_str(),
-                  static_cast<long long>(inv_result.checksum),
-                  static_cast<long long>(checksum));
+            throw InvocationAbort{
+                FailureKind::ChecksumMismatch,
+                strprintf("workload %s: checksum changed between "
+                          "iterations (%lld vs %lld)",
+                          spec.name.c_str(),
+                          static_cast<long long>(inv_result.checksum),
+                          static_cast<long long>(checksum))};
         }
 
         uarch::CounterSet now = model.snapshot();
@@ -75,14 +107,38 @@ runOneInvocation(const vm::Program &prog,
         sample.simCycles = sample.counters.cycles;
         sample.timeMs = static_cast<double>(sample.simCycles) /
             config.cyclesPerMs * noise.nextIterationFactor();
+        if (fault)
+            sample.timeMs *= FaultInjector::timeFactor(*fault, it);
         sample.wallNanos = static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 wall_end - wall_start)
                 .count());
+        elapsed_ms += sample.timeMs;
+        if (config.deadlineMs > 0.0 && elapsed_ms > config.deadlineMs)
+            throw InvocationAbort{
+                FailureKind::DeadlineExceeded,
+                strprintf("workload %s: invocation %d exceeded the "
+                          "%.1f ms deadline after %d iterations "
+                          "(%.1f ms modelled)",
+                          spec.name.c_str(), invocation_index,
+                          config.deadlineMs, it + 1, elapsed_ms)};
         inv_result.samples.push_back(std::move(sample));
     }
     inv_result.vmStats = interp.stats();
+
+    if (fault && fault->kind == FaultKind::CorruptChecksum)
+        inv_result.checksum ^= 0x5A5A5A5ALL;
     return inv_result;
+}
+
+/** Capped exponential backoff charged before retry `attempt + 1`. */
+double
+backoffMs(const RunnerConfig &config, int attempt)
+{
+    double delay = config.backoffBaseMs;
+    for (int i = 0; i < attempt && delay < config.backoffCapMs; ++i)
+        delay *= 2.0;
+    return std::min(delay, config.backoffCapMs);
 }
 
 } // namespace
@@ -104,21 +160,77 @@ extendExperiment(const workloads::WorkloadSpec &spec,
                  const RunnerConfig &config, RunResult &run,
                  int additional)
 {
+    if (run.quarantined)
+        return;
+
     vm::Program prog = vm::compileSource(spec.source, spec.name);
     int64_t size = run.size > 0
         ? run.size
         : (config.size > 0 ? config.size : spec.defaultSize);
     run.size = size;
 
-    int start = static_cast<int>(run.invocations.size());
+    int start = std::max(run.invocationsAttempted,
+                         static_cast<int>(run.invocations.size()));
     for (int inv = start; inv < start + additional; ++inv) {
-        run.invocations.push_back(
-            runOneInvocation(prog, spec, config, size, inv));
-        // Cross-invocation checksum verification.
-        if (run.invocations.back().checksum !=
-            run.invocations.front().checksum) {
-            panic("workload %s: checksum differs across invocations",
-                  spec.name.c_str());
+        bool succeeded = false;
+        for (int attempt = 0; attempt <= config.maxRetries;
+             ++attempt) {
+            uint64_t seed = attemptSeed(config, inv, attempt);
+            InvocationFailure failure;
+            failure.invocation = inv;
+            failure.attempt = attempt;
+            failure.seed = seed;
+            try {
+                InvocationResult r = runOneInvocation(
+                    prog, spec, config, size, inv, attempt, seed);
+                // Cross-invocation checksum verification against the
+                // first successful invocation. With a single prior
+                // invocation the blame is ambiguous; we presume the
+                // established reference is correct.
+                if (!run.invocations.empty() &&
+                    r.checksum != run.invocations.front().checksum) {
+                    throw InvocationAbort{
+                        FailureKind::ChecksumMismatch,
+                        strprintf(
+                            "workload %s: checksum differs across "
+                            "invocations (%lld vs %lld)",
+                            spec.name.c_str(),
+                            static_cast<long long>(r.checksum),
+                            static_cast<long long>(
+                                run.invocations.front().checksum))};
+                }
+                run.invocations.push_back(std::move(r));
+                succeeded = true;
+                break;
+            } catch (const vm::VmError &e) {
+                failure.kind = FailureKind::VmError;
+                failure.message = e.what();
+            } catch (const InvocationAbort &a) {
+                failure.kind = a.kind;
+                failure.message = a.message;
+            }
+            if (attempt < config.maxRetries)
+                failure.backoffMs = backoffMs(config, attempt);
+            warn("workload %s: invocation %d attempt %d failed "
+                 "(%s): %s",
+                 spec.name.c_str(), inv, attempt,
+                 failureKindName(failure.kind),
+                 failure.message.c_str());
+            run.failures.push_back(std::move(failure));
+        }
+        run.invocationsAttempted = inv + 1;
+        if (succeeded) {
+            run.consecutiveFailures = 0;
+        } else if (++run.consecutiveFailures >=
+                       config.quarantineAfter &&
+                   config.quarantineAfter > 0) {
+            run.quarantined = true;
+            run.quarantineReason = strprintf(
+                "%d consecutive invocations failed all %d attempt(s)",
+                run.consecutiveFailures, config.maxRetries + 1);
+            warn("workload %s quarantined: %s", spec.name.c_str(),
+                 run.quarantineReason.c_str());
+            return;
         }
     }
 }

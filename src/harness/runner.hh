@@ -18,6 +18,15 @@
 namespace rigor {
 namespace harness {
 
+class FaultInjector;
+
+/**
+ * Default JIT hot threshold, matching vm::InterpConfig. This is the
+ * single source of truth: RunnerConfig and the rigorbench CLI both
+ * reference it (they used to disagree, 64 vs 4000).
+ */
+inline constexpr int kDefaultJitThreshold = 4000;
+
 /** Configuration of one experiment run. */
 struct RunnerConfig
 {
@@ -28,7 +37,7 @@ struct RunnerConfig
     /** Runtime tier to measure. */
     vm::Tier tier = vm::Tier::Interp;
     /** JIT hot threshold (adaptive tier). */
-    int jitThreshold = 64;
+    int jitThreshold = kDefaultJitThreshold;
     /** Interpreter dispatch cost in micro-ops (see InterpConfig). */
     uint32_t dispatchUops = 6;
     /** Workload size (0 = the workload's defaultSize). */
@@ -41,12 +50,41 @@ struct RunnerConfig
     uarch::PerfModelConfig uarch;
     /** Modelled clock in cycles per millisecond (3 GHz default). */
     double cyclesPerMs = 3.0e6;
+
+    // --- fault tolerance ---------------------------------------------
+
+    /** Retries per invocation after a failed attempt (0 = fail fast). */
+    int maxRetries = 2;
+    /** Base modelled backoff before the first retry; doubles per
+     *  retry. Charged to the failure record, not slept. */
+    double backoffBaseMs = 1.0;
+    /** Backoff cap (exponential growth stops here). */
+    double backoffCapMs = 64.0;
+    /**
+     * Quarantine the workload after this many *consecutive*
+     * invocations whose every attempt failed (0 disables quarantine;
+     * the run then keeps trying every requested invocation).
+     */
+    int quarantineAfter = 3;
+    /** Per-invocation modelled-time deadline in ms (0 = none). A
+     *  stalled invocation is aborted once its summed modelled time
+     *  passes this. */
+    double deadlineMs = 0.0;
+    /** Optional fault injector (not owned); nullptr injects nothing. */
+    const FaultInjector *faults = nullptr;
 };
 
 /**
  * Run the full experiment design for one workload.
- * Checksums are verified to be identical across invocations; a
- * mismatch raises PanicError (it would indicate a VM bug).
+ *
+ * Failure handling: a VmError, a checksum divergence (between
+ * iterations or across invocations) or a blown deadline no longer
+ * aborts the run. The attempt is recorded as an InvocationFailure and
+ * retried with a freshly derived seed, up to maxRetries times with
+ * capped exponential backoff. After quarantineAfter consecutive
+ * permanently-failed invocations the workload is quarantined and the
+ * partial run returned. Failed attempts never contribute samples, so
+ * every estimate is computed from successful invocations only.
  */
 RunResult runExperiment(const workloads::WorkloadSpec &spec,
                         const RunnerConfig &config);

@@ -25,19 +25,33 @@ runSequential(const workloads::WorkloadSpec &spec,
 
     extendExperiment(spec, base, out.run, seq.minInvocations);
     for (;;) {
-        out.estimate = rigorousEstimate(out.run, seq.confidence);
-        double rel = out.estimate.ci.relativeHalfWidth();
-        out.widthTrajectory.push_back(rel);
         out.invocationsUsed =
             static_cast<int>(out.run.invocations.size());
-        if (rel <= seq.targetRelativeHalfWidth) {
-            out.converged = true;
+        // A quarantined workload cannot be extended further; return
+        // whatever partial evidence was gathered (the caller sees
+        // converged == false plus the run's failure records).
+        if (out.run.quarantined) {
+            if (out.invocationsUsed >= 2)
+                out.estimate =
+                    rigorousEstimate(out.run, seq.confidence);
             return out;
         }
-        if (out.invocationsUsed >= seq.maxInvocations)
+        if (out.invocationsUsed >= 2) {
+            out.estimate = rigorousEstimate(out.run, seq.confidence);
+            double rel = out.estimate.ci.relativeHalfWidth();
+            out.widthTrajectory.push_back(rel);
+            if (rel <= seq.targetRelativeHalfWidth) {
+                out.converged = true;
+                return out;
+            }
+        }
+        // Budget accounting counts attempted invocations, so a run
+        // suffering scattered permanent failures still terminates.
+        int spent = std::max(out.run.invocationsAttempted,
+                             out.invocationsUsed);
+        if (spent >= seq.maxInvocations)
             return out;
-        int add = std::min(seq.batchSize,
-                           seq.maxInvocations - out.invocationsUsed);
+        int add = std::min(seq.batchSize, seq.maxInvocations - spent);
         extendExperiment(spec, base, out.run, add);
     }
 }

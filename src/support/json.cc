@@ -86,6 +86,15 @@ Json::has(const std::string &key) const
     return type_ == Type::Object && obj.count(key) > 0;
 }
 
+const Json *
+Json::get(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+}
+
 bool
 Json::asBool() const
 {

@@ -62,6 +62,13 @@ class Json
     const Json &at(const std::string &key) const;
     /** True if object has the key. */
     bool has(const std::string &key) const;
+    /**
+     * Object member lookup for optional fields: nullptr when the key
+     * is absent or this value is not an object. Lets readers of
+     * evolving documents (run archives, suite resume state) accept
+     * older files that predate a field.
+     */
+    const Json *get(const std::string &key) const;
 
     bool asBool() const;
     int64_t asInt() const;

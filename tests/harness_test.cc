@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/analysis.hh"
+#include "harness/fault.hh"
 #include "harness/noise.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -402,6 +403,104 @@ TEST(Report, JsonRoundTripPreservesAnalysis)
     auto est_b = rigorousEstimate(restored);
     EXPECT_DOUBLE_EQ(est_a.ci.estimate, est_b.ci.estimate);
     EXPECT_DOUBLE_EQ(est_a.ci.lower, est_b.ci.lower);
+}
+
+TEST(Runner, RetrySucceedsAndEstimateMatchesClean)
+{
+    auto cfg = withTestSize(smallConfig(vm::Tier::Interp), "sieve");
+    RunResult clean = runExperiment("sieve", cfg);
+    auto clean_est = rigorousEstimate(clean);
+
+    // A single checksum corruption on invocation 1's first attempt:
+    // detected, the attempt is discarded and retried under a fresh
+    // derived seed.
+    FaultPlan plan;
+    plan.add("checksum:inv=1:n=1");
+    FaultInjector inj(std::move(plan), cfg.seed);
+    auto faulted_cfg = cfg;
+    faulted_cfg.faults = &inj;
+    faulted_cfg.maxRetries = 2;
+    RunResult faulted = runExperiment("sieve", faulted_cfg);
+
+    // No PanicError; the divergence is recorded instead.
+    ASSERT_EQ(faulted.failures.size(), 1u);
+    EXPECT_EQ(faulted.failures[0].kind,
+              FailureKind::ChecksumMismatch);
+    ASSERT_EQ(faulted.invocations.size(), 5u);
+
+    // The failed attempt is excluded from the estimate: only the 5
+    // successful invocations contribute, and all but the retried one
+    // are bit-identical to the clean run's.
+    auto est = rigorousEstimate(faulted);
+    EXPECT_EQ(est.invocationMeans.size(), 5u);
+    for (size_t i : {0u, 2u, 3u, 4u})
+        EXPECT_EQ(faulted.invocations[i].invocationSeed,
+                  clean.invocations[i].invocationSeed);
+    // Invocation 1 re-ran with different (known-model) noise, so the
+    // estimates agree statistically rather than bit for bit.
+    EXPECT_NEAR(est.ci.estimate, clean_est.ci.estimate,
+                0.03 * clean_est.ci.estimate);
+    EXPECT_TRUE(est.ci.overlaps(clean_est.ci));
+}
+
+TEST(Report, JsonRoundTripWithFailures)
+{
+    auto cfg = withTestSize(smallConfig(vm::Tier::Interp), "sieve");
+    cfg.invocations = 3;
+    cfg.iterations = 5;
+    FaultPlan plan;
+    plan.add("throw:inv=1:n=1");
+    FaultInjector inj(std::move(plan), cfg.seed);
+    cfg.faults = &inj;
+    RunResult run = runExperiment("sieve", cfg);
+    ASSERT_EQ(run.failures.size(), 1u);
+
+    Json doc = Json::parse(runToJson(run).dump(2));
+    RunResult restored = runFromJson(doc);
+    ASSERT_EQ(restored.failures.size(), 1u);
+    EXPECT_EQ(restored.failures[0].kind, run.failures[0].kind);
+    EXPECT_EQ(restored.failures[0].invocation,
+              run.failures[0].invocation);
+    EXPECT_EQ(restored.failures[0].seed, run.failures[0].seed);
+    EXPECT_EQ(restored.failures[0].message, run.failures[0].message);
+    EXPECT_EQ(restored.invocationsAttempted, 3);
+    EXPECT_FALSE(restored.quarantined);
+}
+
+TEST(Report, CleanRunJsonHasNoFailureFields)
+{
+    auto cfg = withTestSize(smallConfig(vm::Tier::Interp), "queens");
+    cfg.invocations = 2;
+    cfg.iterations = 3;
+    RunResult run = runExperiment("queens", cfg);
+    Json doc = runToJson(run);
+    // Dumps of clean runs stay byte-compatible with pre-fault-
+    // tolerance archives: no failure keys are emitted.
+    EXPECT_FALSE(doc.has("failures"));
+    EXPECT_FALSE(doc.has("quarantined"));
+    EXPECT_FALSE(doc.has("invocations_attempted"));
+}
+
+TEST(Report, QuarantinedRunRoundTrips)
+{
+    auto cfg = withTestSize(smallConfig(vm::Tier::Interp), "sieve");
+    cfg.maxRetries = 0;
+    cfg.quarantineAfter = 2;
+    FaultPlan plan;
+    plan.add("throw:n=99");
+    FaultInjector inj(std::move(plan), cfg.seed);
+    cfg.faults = &inj;
+    RunResult run = runExperiment("sieve", cfg);
+    ASSERT_TRUE(run.quarantined);
+    ASSERT_TRUE(run.invocations.empty());
+
+    Json doc = Json::parse(runToJson(run).dump(2));
+    RunResult restored = runFromJson(doc);
+    EXPECT_TRUE(restored.quarantined);
+    EXPECT_EQ(restored.quarantineReason, run.quarantineReason);
+    EXPECT_EQ(restored.failures.size(), run.failures.size());
+    EXPECT_EQ(restored.invocationsAttempted,
+              run.invocationsAttempted);
 }
 
 TEST(Report, JsonFromMalformedDocumentsFails)

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/fault.hh"
+#include "harness/report.hh"
 #include "harness/sequential.hh"
 #include "support/logging.hh"
 
@@ -99,6 +101,97 @@ TEST(ExtendExperiment, MatchesUpfrontRun)
         for (size_t j = 0; j < a.size(); ++j)
             EXPECT_DOUBLE_EQ(a[j], b[j]) << i << "," << j;
     }
+}
+
+TEST(Sequential, SurvivesInjectedFault)
+{
+    FaultPlan plan;
+    plan.add("throw:inv=2:n=1");
+    RunnerConfig base = baseConfig();
+    FaultInjector inj(std::move(plan), base.seed);
+    base.faults = &inj;
+    base.maxRetries = 1;
+
+    SequentialConfig seq;
+    seq.targetRelativeHalfWidth = 0.05;
+    seq.maxInvocations = 40;
+    auto res = runSequential("sieve", base, seq);
+
+    // The mid-run fault is retried and the stopping rule still
+    // converges on the remaining evidence.
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.run.failures.size(), 1u);
+    EXPECT_EQ(res.run.failures[0].invocation, 2);
+    EXPECT_GE(res.invocationsUsed, seq.minInvocations);
+}
+
+TEST(Sequential, QuarantinedWorkloadReturnsPartial)
+{
+    FaultPlan plan;
+    plan.add("throw:n=99");  // every attempt of every invocation
+    RunnerConfig base = baseConfig();
+    FaultInjector inj(std::move(plan), base.seed);
+    base.faults = &inj;
+    base.maxRetries = 0;
+    base.quarantineAfter = 2;
+
+    auto res = runSequential("sieve", base, {});
+    EXPECT_FALSE(res.converged);
+    EXPECT_TRUE(res.run.quarantined);
+    EXPECT_EQ(res.invocationsUsed, 0);
+    EXPECT_EQ(res.run.failures.size(), 2u);
+}
+
+TEST(SuiteState, ResumeRoundTrip)
+{
+    SuiteState state;
+    state.seed = 0xc0ffee;
+    state.invocations = 8;
+    state.iterations = 20;
+
+    SuiteWorkloadState ok;
+    ok.name = "sieve";
+    ok.interpMs = 1.5;
+    ok.adaptiveMs = 0.5;
+    ok.speedup.ci = {3.0, 2.8, 3.2, 0.95};
+    ok.speedup.significant = true;
+    ok.failureCount = 1;
+    state.workloads.push_back(ok);
+
+    SuiteWorkloadState bad;
+    bad.name = "queens";
+    bad.failed = true;
+    bad.quarantined = true;
+    bad.failureCount = 6;
+    state.workloads.push_back(bad);
+
+    Json doc = Json::parse(suiteStateToJson(state).dump(2));
+    SuiteState restored = suiteStateFromJson(doc);
+
+    EXPECT_EQ(restored.seed, state.seed);
+    EXPECT_EQ(restored.invocations, 8);
+    EXPECT_EQ(restored.iterations, 20);
+    ASSERT_EQ(restored.workloads.size(), 2u);
+
+    const auto *r_ok = restored.find("sieve");
+    ASSERT_NE(r_ok, nullptr);
+    EXPECT_FALSE(r_ok->failed);
+    EXPECT_DOUBLE_EQ(r_ok->interpMs, 1.5);
+    EXPECT_DOUBLE_EQ(r_ok->adaptiveMs, 0.5);
+    EXPECT_DOUBLE_EQ(r_ok->speedup.ci.estimate, 3.0);
+    EXPECT_DOUBLE_EQ(r_ok->speedup.ci.lower, 2.8);
+    EXPECT_TRUE(r_ok->speedup.significant);
+    EXPECT_EQ(r_ok->failureCount, 1);
+
+    const auto *r_bad = restored.find("queens");
+    ASSERT_NE(r_bad, nullptr);
+    EXPECT_TRUE(r_bad->failed);
+    EXPECT_TRUE(r_bad->quarantined);
+    EXPECT_EQ(r_bad->failureCount, 6);
+    EXPECT_EQ(restored.find("nbody"), nullptr);
+
+    EXPECT_THROW(suiteStateFromJson(Json::object()),
+                 rigor::PanicError);
 }
 
 } // namespace

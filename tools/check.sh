@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build and test both the regular and the ASan+UBSan configurations.
+# The sanitizer pass matters most for the fault-tolerance error paths
+# (injected faults, retries, quarantine), which normal runs rarely hit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== regular build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== sanitizer build (ASan+UBSan) =="
+cmake -B build-asan -S . -DRIGOR_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "all checks passed"

@@ -15,22 +15,34 @@
  *   --iterations N           (default 20)
  *   --size N                 (default: workload's defaultSize)
  *   --seed S                 (default 0xc0ffee)
- *   --jit-threshold N        (default 4000)
+ *   --jit-threshold N        (default kDefaultJitThreshold)
  *   --target PCT             (sequential only; default 2)
  *   --json FILE              dump the raw run as JSON
  *   --csv FILE               dump per-iteration samples as CSV
  *   --no-noise               disable the measurement-noise model
+ *
+ * Fault tolerance:
+ *   --inject SPEC            inject a fault (repeatable); SPEC is
+ *                            kind[:key=value]... with kind one of
+ *                            throw|checksum|stall|ramp and keys
+ *                            wl=NAME inv=N n=COUNT p=PROB mag=X
+ *   --max-retries N          retries per invocation (default 2)
+ *   --deadline-ms X          per-invocation modelled-time deadline
+ *   --resume FILE            (suite only) persist state after every
+ *                            workload and skip completed ones
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "harness/analysis.hh"
 #include "harness/envcheck.hh"
+#include "harness/fault.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/sequential.hh"
@@ -52,11 +64,15 @@ struct Options
     int iterations = 20;
     int64_t size = 0;
     uint64_t seed = 0xc0ffee;
-    int jitThreshold = 4000;
+    int jitThreshold = harness::kDefaultJitThreshold;
     double targetPct = 2.0;
     std::string jsonPath;
     std::string csvPath;
     bool noNoise = false;
+    harness::FaultPlan faultPlan;
+    int maxRetries = 2;
+    double deadlineMs = 0.0;
+    std::string resumePath;
 };
 
 [[noreturn]] void
@@ -69,8 +85,36 @@ usage()
         "options: --tier interp|adaptive --invocations N "
         "--iterations N --size N\n"
         "         --seed S --jit-threshold N --target PCT "
-        "--json FILE --csv FILE --no-noise\n");
+        "--json FILE --csv FILE --no-noise\n"
+        "         --inject SPEC --max-retries N --deadline-ms X "
+        "--resume FILE\n");
     std::exit(2);
+}
+
+/** Strict integer parsing: rejects garbage instead of yielding 0. */
+int64_t
+parseInt(const char *flag, const char *text, int64_t min_value)
+{
+    char *end = nullptr;
+    long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0')
+        fatal("%s expects an integer, got '%s'", flag, text);
+    if (v < min_value)
+        fatal("%s must be >= %lld, got %lld", flag,
+              static_cast<long long>(min_value), v);
+    return v;
+}
+
+double
+parseDouble(const char *flag, const char *text, double min_value)
+{
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        fatal("%s expects a number, got '%s'", flag, text);
+    if (v < min_value)
+        fatal("%s must be >= %g, got %g", flag, min_value, v);
+    return v;
 }
 
 Options
@@ -99,23 +143,36 @@ parseArgs(int argc, char **argv)
             else
                 usage();
         } else if (a == "--invocations") {
-            opt.invocations = std::atoi(next());
+            opt.invocations = static_cast<int>(
+                parseInt("--invocations", next(), 1));
         } else if (a == "--iterations") {
-            opt.iterations = std::atoi(next());
+            opt.iterations = static_cast<int>(
+                parseInt("--iterations", next(), 1));
         } else if (a == "--size") {
-            opt.size = std::atoll(next());
+            opt.size = parseInt("--size", next(), 1);
         } else if (a == "--seed") {
             opt.seed = std::strtoull(next(), nullptr, 0);
         } else if (a == "--jit-threshold") {
-            opt.jitThreshold = std::atoi(next());
+            opt.jitThreshold = static_cast<int>(
+                parseInt("--jit-threshold", next(), 1));
         } else if (a == "--target") {
-            opt.targetPct = std::atof(next());
+            opt.targetPct = parseDouble("--target", next(), 1e-6);
         } else if (a == "--json") {
             opt.jsonPath = next();
         } else if (a == "--csv") {
             opt.csvPath = next();
         } else if (a == "--no-noise") {
             opt.noNoise = true;
+        } else if (a == "--inject") {
+            opt.faultPlan.add(next());
+        } else if (a == "--max-retries") {
+            opt.maxRetries = static_cast<int>(
+                parseInt("--max-retries", next(), 0));
+        } else if (a == "--deadline-ms") {
+            opt.deadlineMs = parseDouble("--deadline-ms", next(),
+                                         1e-9);
+        } else if (a == "--resume") {
+            opt.resumePath = next();
         } else {
             usage();
         }
@@ -124,7 +181,8 @@ parseArgs(int argc, char **argv)
 }
 
 harness::RunnerConfig
-makeConfig(const Options &opt, vm::Tier tier)
+makeConfig(const Options &opt, vm::Tier tier,
+           const harness::FaultInjector *faults)
 {
     harness::RunnerConfig cfg;
     cfg.invocations = opt.invocations;
@@ -134,6 +192,9 @@ makeConfig(const Options &opt, vm::Tier tier)
     cfg.seed = opt.seed;
     cfg.jitThreshold = opt.jitThreshold;
     cfg.noise.enabled = !opt.noNoise;
+    cfg.maxRetries = opt.maxRetries;
+    cfg.deadlineMs = opt.deadlineMs;
+    cfg.faults = faults;
     return cfg;
 }
 
@@ -156,9 +217,34 @@ dumpOutputs(const Options &opt, const harness::RunResult &run)
     }
 }
 
+/** Failure/quarantine bookkeeping printed after a degraded run. */
+void
+printRunFailures(const harness::RunResult &run)
+{
+    if (run.failures.empty() && !run.quarantined)
+        return;
+    std::printf("  failures: %zu recorded, %zu invocation(s) "
+                "succeeded of %d attempted\n",
+                run.failures.size(), run.invocations.size(),
+                run.invocationsAttempted);
+    for (const auto &f : run.failures)
+        std::printf("    inv %d attempt %d [%s]: %s\n", f.invocation,
+                    f.attempt, harness::failureKindName(f.kind),
+                    f.message.c_str());
+    if (run.quarantined)
+        std::printf("  QUARANTINED: %s\n",
+                    run.quarantineReason.c_str());
+}
+
 void
 printEstimate(const harness::RunResult &run)
 {
+    if (run.invocations.empty()) {
+        std::printf("%s / %s: no successful invocations\n",
+                    run.workload.c_str(), vm::tierName(run.tier));
+        printRunFailures(run);
+        return;
+    }
     auto est = harness::rigorousEstimate(run);
     const auto &ss = est.steadyState;
     std::printf("%s / %s  (%zu invocations x %zu iterations, "
@@ -177,6 +263,7 @@ printEstimate(const harness::RunResult &run)
     std::printf("  first invocation: %s\n",
                 harness::sparkline(run.invocations.front().times())
                     .c_str());
+    printRunFailures(run);
 }
 
 int
@@ -210,24 +297,26 @@ cmdDisasm(const Options &opt)
 }
 
 int
-cmdRun(const Options &opt)
+cmdRun(const Options &opt, const harness::FaultInjector *faults)
 {
-    auto run = harness::runExperiment(opt.workload,
-                                      makeConfig(opt, opt.tier));
+    auto run = harness::runExperiment(
+        opt.workload, makeConfig(opt, opt.tier, faults));
     printEstimate(run);
     dumpOutputs(opt, run);
-    return 0;
+    return run.invocations.empty() ? 1 : 0;
 }
 
 int
-cmdCompare(const Options &opt)
+cmdCompare(const Options &opt, const harness::FaultInjector *faults)
 {
     auto interp = harness::runExperiment(
-        opt.workload, makeConfig(opt, vm::Tier::Interp));
+        opt.workload, makeConfig(opt, vm::Tier::Interp, faults));
     auto jit = harness::runExperiment(
-        opt.workload, makeConfig(opt, vm::Tier::Adaptive));
+        opt.workload, makeConfig(opt, vm::Tier::Adaptive, faults));
     printEstimate(interp);
     printEstimate(jit);
+    if (interp.invocations.empty() || jit.invocations.empty())
+        return 1;
     auto s = harness::rigorousSpeedup(interp, jit);
     std::printf("speedup (adaptive over interp): %s %s\n",
                 harness::formatCi(s.ci, 3).c_str(),
@@ -237,14 +326,17 @@ cmdCompare(const Options &opt)
 }
 
 int
-cmdSequential(const Options &opt)
+cmdSequential(const Options &opt,
+              const harness::FaultInjector *faults)
 {
     harness::SequentialConfig seq;
     seq.targetRelativeHalfWidth = opt.targetPct / 100.0;
     seq.maxInvocations = std::max(opt.invocations, 8);
     auto res = harness::runSequential(
-        opt.workload, makeConfig(opt, opt.tier), seq);
+        opt.workload, makeConfig(opt, opt.tier, faults), seq);
     printEstimate(res.run);
+    if (res.run.invocations.empty())
+        return 1;
     std::printf("  sequential: %s after %d invocations "
                 "(target ±%.1f%%)\n",
                 res.converged ? "converged" : "budget exhausted",
@@ -257,33 +349,147 @@ cmdSequential(const Options &opt)
     return 0;
 }
 
-int
-cmdSuite(const Options &opt)
+void
+writeSuiteState(const std::string &path,
+                const harness::SuiteState &state)
 {
-    Table t({"benchmark", "interp ms", "adaptive ms",
-             "speedup (95% CI)", "sig"});
-    std::vector<harness::SpeedupResult> speedups;
-    for (const auto &w : workloads::suite()) {
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write %s", path.c_str());
+    os << harness::suiteStateToJson(state).dump(2) << "\n";
+}
+
+harness::SuiteState
+loadSuiteState(const std::string &path, const Options &opt)
+{
+    std::ifstream is(path);
+    std::stringstream buf;
+    buf << is.rdbuf();
+    auto state = harness::suiteStateFromJson(Json::parse(buf.str()));
+    if (state.seed != opt.seed ||
+        state.invocations != opt.invocations ||
+        state.iterations != opt.iterations)
+        fatal("%s was recorded with different design parameters "
+              "(seed/invocations/iterations); refusing to mix "
+              "incomparable measurements",
+              path.c_str());
+    return state;
+}
+
+/**
+ * Measure one workload on both tiers. Degrades gracefully: failures
+ * and quarantines are recorded in the returned state instead of
+ * propagating, so one broken workload cannot sink the suite.
+ */
+harness::SuiteWorkloadState
+runSuiteWorkload(const workloads::WorkloadSpec &w, const Options &opt,
+                 const harness::FaultInjector *faults)
+{
+    harness::SuiteWorkloadState ws;
+    ws.name = w.name;
+    try {
         Options o = opt;
         o.workload = w.name;
         auto interp = harness::runExperiment(
-            w.name, makeConfig(o, vm::Tier::Interp));
+            w.name, makeConfig(o, vm::Tier::Interp, faults));
         auto jit = harness::runExperiment(
-            w.name, makeConfig(o, vm::Tier::Adaptive));
-        auto ie = harness::rigorousEstimate(interp);
-        auto je = harness::rigorousEstimate(jit);
-        auto s = harness::rigorousSpeedup(interp, jit);
-        speedups.push_back(s);
-        t.addRow({w.name, fmtDouble(ie.ci.estimate, 4),
-                  fmtDouble(je.ci.estimate, 4),
-                  harness::formatCi(s.ci, 2),
-                  s.significant ? "y" : "n"});
+            w.name, makeConfig(o, vm::Tier::Adaptive, faults));
+        ws.quarantined = interp.quarantined || jit.quarantined;
+        ws.failureCount = static_cast<int>(interp.failures.size() +
+                                           jit.failures.size());
+        if (interp.invocations.size() < 2 ||
+            jit.invocations.size() < 2) {
+            ws.failed = true;
+            return ws;
+        }
+        ws.interpMs = harness::rigorousEstimate(interp).ci.estimate;
+        ws.adaptiveMs = harness::rigorousEstimate(jit).ci.estimate;
+        ws.speedup = harness::rigorousSpeedup(interp, jit);
+    } catch (const std::exception &e) {
+        warn("workload %s failed: %s", w.name.c_str(), e.what());
+        ws.failed = true;
+    }
+    return ws;
+}
+
+int
+cmdSuite(const Options &opt, const harness::FaultInjector *faults)
+{
+    harness::SuiteState state;
+    state.seed = opt.seed;
+    state.invocations = opt.invocations;
+    state.iterations = opt.iterations;
+
+    bool resuming = false;
+    if (!opt.resumePath.empty()) {
+        std::ifstream probe(opt.resumePath);
+        if (probe.good()) {
+            state = loadSuiteState(opt.resumePath, opt);
+            resuming = true;
+            inform("resuming from %s: %zu workload(s) already done",
+                   opt.resumePath.c_str(), state.workloads.size());
+        }
+    }
+
+    for (const auto &w : workloads::suite()) {
+        if (resuming && state.find(w.name))
+            continue;
+        state.workloads.push_back(runSuiteWorkload(w, opt, faults));
+        if (!opt.resumePath.empty())
+            writeSuiteState(opt.resumePath, state);
+    }
+
+    Table t({"benchmark", "interp ms", "adaptive ms",
+             "speedup (95% CI)", "sig"});
+    std::vector<harness::SpeedupResult> speedups;
+    int degraded = 0;
+    for (const auto &w : workloads::suite()) {
+        const auto *ws = state.find(w.name);
+        if (!ws)
+            continue;
+        if (ws->failed) {
+            t.addRow({ws->name, "-", "-",
+                      ws->quarantined ? "(quarantined)" : "(failed)",
+                      "-"});
+            ++degraded;
+            continue;
+        }
+        speedups.push_back(ws->speedup);
+        t.addRow({ws->name, fmtDouble(ws->interpMs, 4),
+                  fmtDouble(ws->adaptiveMs, 4),
+                  harness::formatCi(ws->speedup.ci, 2),
+                  ws->speedup.significant ? "y" : "n"});
+        if (ws->quarantined || ws->failureCount > 0)
+            ++degraded;
     }
     std::printf("%s", t.render().c_str());
-    auto geo = harness::geomeanSpeedup(speedups);
-    std::printf("geomean speedup: %s\n",
-                harness::formatCi(geo, 2).c_str());
-    return 0;
+    if (!speedups.empty()) {
+        auto geo = harness::geomeanSpeedup(speedups);
+        std::printf("geomean speedup: %s\n",
+                    harness::formatCi(geo, 2).c_str());
+    }
+
+    if (degraded > 0) {
+        Table ft({"benchmark", "status", "failures"});
+        for (const auto &ws : state.workloads) {
+            if (!ws.failed && !ws.quarantined &&
+                ws.failureCount == 0)
+                continue;
+            const char *status = ws.quarantined ? "quarantined"
+                : ws.failed                     ? "failed"
+                                                : "degraded";
+            ft.addRow({ws.name, status,
+                       std::to_string(ws.failureCount)});
+        }
+        std::printf("\nfailure summary (%d of %zu workloads "
+                    "affected):\n%s",
+                    degraded, state.workloads.size(),
+                    ft.render().c_str());
+    }
+
+    // Partial results are a success; only a suite where *nothing*
+    // could be measured exits nonzero.
+    return speedups.empty() ? 1 : 0;
 }
 
 } // namespace
@@ -293,6 +499,9 @@ main(int argc, char **argv)
 {
     try {
         Options opt = parseArgs(argc, argv);
+        harness::FaultInjector injector(opt.faultPlan, opt.seed);
+        const harness::FaultInjector *faults =
+            opt.faultPlan.empty() ? nullptr : &injector;
         if (opt.command == "list")
             return cmdList();
         if (opt.command == "env")
@@ -302,13 +511,13 @@ main(int argc, char **argv)
         if (opt.command == "disasm")
             return cmdDisasm(opt);
         if (opt.command == "run")
-            return cmdRun(opt);
+            return cmdRun(opt, faults);
         if (opt.command == "compare")
-            return cmdCompare(opt);
+            return cmdCompare(opt, faults);
         if (opt.command == "sequential")
-            return cmdSequential(opt);
+            return cmdSequential(opt, faults);
         if (opt.command == "suite")
-            return cmdSuite(opt);
+            return cmdSuite(opt, faults);
         usage();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
