@@ -34,6 +34,16 @@ RunResult::series() const
     return out;
 }
 
+double
+RunResult::totalModelledMs() const
+{
+    double total = 0.0;
+    for (const auto &inv : invocations)
+        for (const auto &s : inv.samples)
+            total += s.timeMs;
+    return total;
+}
+
 uarch::CounterSet
 RunResult::totalCounters() const
 {

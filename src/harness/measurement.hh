@@ -106,6 +106,9 @@ struct RunResult
     /** series()[i][j]: iteration j of invocation i, in ms. */
     std::vector<std::vector<double>> series() const;
 
+    /** Modelled ms summed over every successful iteration. */
+    double totalModelledMs() const;
+
     /** Counter totals summed over all iterations and invocations. */
     uarch::CounterSet totalCounters() const;
 

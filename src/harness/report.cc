@@ -282,6 +282,7 @@ suiteStateToJson(const SuiteState &state)
         j.set("failed", w.failed);
         j.set("quarantined", w.quarantined);
         j.set("failures", w.failureCount);
+        j.set("modelled_ms", w.modelledMs);
         if (!w.failed) {
             j.set("interp_ms", w.interpMs);
             j.set("adaptive_ms", w.adaptiveMs);
@@ -318,6 +319,9 @@ suiteStateFromJson(const Json &doc)
         w.failed = j.at("failed").asBool();
         w.quarantined = j.at("quarantined").asBool();
         w.failureCount = static_cast<int>(j.at("failures").asInt());
+        // Absent in state files from before the heartbeat existed.
+        if (const Json *ms = j.get("modelled_ms"))
+            w.modelledMs = ms->asDouble();
         if (!w.failed) {
             w.interpMs = j.at("interp_ms").asDouble();
             w.adaptiveMs = j.at("adaptive_ms").asDouble();

@@ -65,6 +65,8 @@ struct SuiteWorkloadState
     bool quarantined = false;
     /** Invocation failures recorded across both tiers. */
     int failureCount = 0;
+    /** Modelled ms spent measuring this workload (both tiers). */
+    double modelledMs = 0.0;
     double interpMs = 0.0;
     double adaptiveMs = 0.0;
     SpeedupResult speedup;

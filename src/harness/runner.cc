@@ -6,6 +6,7 @@
 #include "harness/fault.hh"
 #include "support/logging.hh"
 #include "vm/compiler.hh"
+#include "vm/metrics_observer.hh"
 
 namespace rigor {
 namespace harness {
@@ -43,6 +44,13 @@ struct InvocationAbort
     std::string message;
 };
 
+/** Bucket bounds shared by the harness duration histograms. */
+std::vector<double>
+durationBucketsMs()
+{
+    return MetricsRegistry::exponentialBuckets(0.001, 4.0, 16);
+}
+
 /** Execute one VM invocation attempt of the experiment design. */
 InvocationResult
 runOneInvocation(const vm::Program &prog,
@@ -50,9 +58,23 @@ runOneInvocation(const vm::Program &prog,
                  const RunnerConfig &config, int64_t size,
                  int invocation_index, int attempt, uint64_t inv_seed)
 {
+    MetricsRegistry *metrics = config.metrics;
+    TraceEmitter *tr = config.trace;
+
     const FaultSpec *fault = config.faults
         ? config.faults->query(spec.name, invocation_index, attempt)
         : nullptr;
+    if (fault) {
+        if (metrics)
+            metrics->counter("harness.faults_injected").inc();
+        if (tr) {
+            Json args = Json::object();
+            args.set("kind", faultKindName(fault->kind));
+            args.set("invocation", invocation_index);
+            args.set("attempt", attempt);
+            tr->instant("fault_injected", "harness", std::move(args));
+        }
+    }
     if (fault && fault->kind == FaultKind::Throw)
         throw vm::VmError(strprintf(
             "injected fault: VmError in %s invocation %d attempt %d",
@@ -67,7 +89,18 @@ runOneInvocation(const vm::Program &prog,
     icfg.captureOutput = false;
 
     uarch::PerfModel model(config.uarch);
-    vm::Interp interp(prog, icfg, &model);
+    // The uarch model is the only observer on plain runs; metrics /
+    // trace runs multiplex a MetricsObserver alongside it.
+    vm::MetricsObserver mobs(
+        metrics, strprintf("vm.%s", vm::tierName(config.tier)), tr);
+    vm::MultiplexObserver mux;
+    vm::ExecutionObserver *observer = &model;
+    if (metrics || tr) {
+        mux.add(&model);
+        mux.add(&mobs);
+        observer = &mux;
+    }
+    vm::Interp interp(prog, icfg, observer);
     interp.runModule();
 
     NoiseModel noise(config.noise, inv_seed);
@@ -80,6 +113,11 @@ runOneInvocation(const vm::Program &prog,
     double elapsed_ms = 0.0;
     uarch::CounterSet prev = model.snapshot();
     for (int it = 0; it < config.iterations; ++it) {
+        if (tr) {
+            Json args = Json::object();
+            args.set("index", it);
+            tr->beginSpan("iteration", "harness", std::move(args));
+        }
         auto wall_start = std::chrono::steady_clock::now();
         vm::Value r =
             interp.callGlobal("run", {vm::Value::makeInt(size)});
@@ -114,6 +152,17 @@ runOneInvocation(const vm::Program &prog,
                 wall_end - wall_start)
                 .count());
         elapsed_ms += sample.timeMs;
+        // The modelled clock advances even when the deadline check
+        // below aborts: the aborted iteration's time did pass.
+        if (tr)
+            tr->advanceMs(sample.timeMs);
+        if (metrics) {
+            metrics->counter("harness.iterations").inc();
+            metrics
+                ->histogram("harness.iteration_ms",
+                            durationBucketsMs())
+                .observe(sample.timeMs);
+        }
         if (config.deadlineMs > 0.0 && elapsed_ms > config.deadlineMs)
             throw InvocationAbort{
                 FailureKind::DeadlineExceeded,
@@ -122,8 +171,14 @@ runOneInvocation(const vm::Program &prog,
                           "(%.1f ms modelled)",
                           spec.name.c_str(), invocation_index,
                           config.deadlineMs, it + 1, elapsed_ms)};
+        if (tr)
+            tr->endSpan();
         inv_result.samples.push_back(std::move(sample));
     }
+    if (metrics)
+        metrics
+            ->histogram("harness.invocation_ms", durationBucketsMs())
+            .observe(elapsed_ms);
     inv_result.vmStats = interp.stats();
 
     if (fault && fault->kind == FaultKind::CorruptChecksum)
@@ -151,7 +206,24 @@ runExperiment(const workloads::WorkloadSpec &spec,
     result.workload = spec.name;
     result.tier = config.tier;
     result.size = config.size > 0 ? config.size : spec.defaultSize;
-    extendExperiment(spec, config, result, config.invocations);
+
+    TraceEmitter *tr = config.trace;
+    size_t depth = tr ? tr->openSpans() : 0;
+    if (tr) {
+        Json args = Json::object();
+        args.set("tier", vm::tierName(config.tier));
+        args.set("size", result.size);
+        tr->beginSpan(spec.name, "workload", std::move(args));
+    }
+    try {
+        extendExperiment(spec, config, result, config.invocations);
+    } catch (...) {
+        if (tr)
+            tr->endSpansTo(depth);
+        throw;
+    }
+    if (tr)
+        tr->endSpansTo(depth);
     return result;
 }
 
@@ -169,10 +241,15 @@ extendExperiment(const workloads::WorkloadSpec &spec,
         : (config.size > 0 ? config.size : spec.defaultSize);
     run.size = size;
 
+    MetricsRegistry *metrics = config.metrics;
+    TraceEmitter *tr = config.trace;
+
     int start = std::max(run.invocationsAttempted,
                          static_cast<int>(run.invocations.size()));
     for (int inv = start; inv < start + additional; ++inv) {
         bool succeeded = false;
+        if (metrics)
+            metrics->counter("harness.invocations_attempted").inc();
         for (int attempt = 0; attempt <= config.maxRetries;
              ++attempt) {
             uint64_t seed = attemptSeed(config, inv, attempt);
@@ -180,6 +257,14 @@ extendExperiment(const workloads::WorkloadSpec &spec,
             failure.invocation = inv;
             failure.attempt = attempt;
             failure.seed = seed;
+            size_t spanDepth = tr ? tr->openSpans() : 0;
+            if (tr) {
+                Json args = Json::object();
+                args.set("index", inv);
+                args.set("attempt", attempt);
+                tr->beginSpan("invocation", "harness",
+                              std::move(args));
+            }
             try {
                 InvocationResult r = runOneInvocation(
                     prog, spec, config, size, inv, attempt, seed);
@@ -201,6 +286,10 @@ extendExperiment(const workloads::WorkloadSpec &spec,
                 }
                 run.invocations.push_back(std::move(r));
                 succeeded = true;
+                if (metrics)
+                    metrics->counter("harness.invocations").inc();
+                if (tr)
+                    tr->endSpan();
                 break;
             } catch (const vm::VmError &e) {
                 failure.kind = FailureKind::VmError;
@@ -211,6 +300,36 @@ extendExperiment(const workloads::WorkloadSpec &spec,
             }
             if (attempt < config.maxRetries)
                 failure.backoffMs = backoffMs(config, attempt);
+            if (metrics) {
+                metrics->counter("harness.failures").inc();
+                metrics
+                    ->counter(strprintf(
+                        "harness.failures.%s",
+                        failureKindName(failure.kind)))
+                    .inc();
+                if (attempt < config.maxRetries)
+                    metrics->counter("harness.retries").inc();
+            }
+            if (tr) {
+                Json args = Json::object();
+                args.set("kind", failureKindName(failure.kind));
+                args.set("invocation", inv);
+                args.set("attempt", attempt);
+                args.set("message", failure.message);
+                tr->instant("invocation_failure", "harness",
+                            std::move(args));
+                // Close the aborted iteration + invocation spans.
+                tr->endSpansTo(spanDepth);
+                if (attempt < config.maxRetries) {
+                    tr->advanceMs(failure.backoffMs);
+                    Json rargs = Json::object();
+                    rargs.set("invocation", inv);
+                    rargs.set("next_attempt", attempt + 1);
+                    rargs.set("backoff_ms", failure.backoffMs);
+                    tr->instant("retry", "harness",
+                                std::move(rargs));
+                }
+            }
             warn("workload %s: invocation %d attempt %d failed "
                  "(%s): %s",
                  spec.name.c_str(), inv, attempt,
@@ -228,6 +347,15 @@ extendExperiment(const workloads::WorkloadSpec &spec,
             run.quarantineReason = strprintf(
                 "%d consecutive invocations failed all %d attempt(s)",
                 run.consecutiveFailures, config.maxRetries + 1);
+            if (metrics)
+                metrics->counter("harness.quarantines").inc();
+            if (tr) {
+                Json args = Json::object();
+                args.set("workload", spec.name);
+                args.set("reason", run.quarantineReason);
+                tr->instant("quarantine", "harness",
+                            std::move(args));
+            }
             warn("workload %s quarantined: %s", spec.name.c_str(),
                  run.quarantineReason.c_str());
             return;

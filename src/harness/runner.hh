@@ -12,6 +12,8 @@
 
 #include "harness/measurement.hh"
 #include "harness/noise.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 #include "uarch/perf_model.hh"
 #include "workloads/workloads.hh"
 
@@ -72,6 +74,24 @@ struct RunnerConfig
     double deadlineMs = 0.0;
     /** Optional fault injector (not owned); nullptr injects nothing. */
     const FaultInjector *faults = nullptr;
+
+    // --- observability -----------------------------------------------
+
+    /**
+     * Optional metrics destination (not owned). When set, the harness
+     * records invocation/iteration durations and retry / quarantine /
+     * fault counts under "harness.*", and a MetricsObserver is
+     * multiplexed onto the VM so per-tier execution totals land under
+     * "vm.<tier>.*". See docs/OBSERVABILITY.md for the schema.
+     */
+    MetricsRegistry *metrics = nullptr;
+    /**
+     * Optional trace destination (not owned). When set, the run emits
+     * workload / invocation / iteration spans and instant events for
+     * JIT compiles, deopts, injected faults, retries and quarantines,
+     * all timestamped with the modelled clock.
+     */
+    TraceEmitter *trace = nullptr;
 };
 
 /**

@@ -6,13 +6,43 @@
 namespace rigor {
 
 namespace {
+
 bool quietFlag = false;
+LogSink sinkFn;
+
+/** Deliver one formatted message to the installed or default sink. */
+void
+emitLog(LogLevel level, const std::string &msg)
+{
+    if (quietFlag)
+        return;
+    if (sinkFn)
+        sinkFn(level, msg);
+    else
+        std::fprintf(stderr, "%s: %s\n", logLevelName(level),
+                     msg.c_str());
+}
+
 } // namespace
 
 void
 setQuiet(bool quiet)
 {
     quietFlag = quiet;
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    return level == LogLevel::Warn ? "warn" : "info";
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink prev = std::move(sinkFn);
+    sinkFn = std::move(sink);
+    return prev;
 }
 
 std::string
@@ -68,7 +98,7 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", s.c_str());
+    emitLog(LogLevel::Warn, s);
 }
 
 void
@@ -80,7 +110,7 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", s.c_str());
+    emitLog(LogLevel::Info, s);
 }
 
 } // namespace rigor

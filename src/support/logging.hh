@@ -11,6 +11,7 @@
 #define RIGOR_SUPPORT_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -68,6 +69,34 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Globally silence warn()/inform() (used by tests and benches). */
 void setQuiet(bool quiet);
+
+/** Severity of a status message routed through the log sink. */
+enum class LogLevel
+{
+    Warn,
+    Info,
+};
+
+/** Short name of a level ("warn" / "info"). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Destination of warn()/inform() messages. `msg` is the formatted
+ * message without the level prefix or trailing newline.
+ */
+using LogSink = std::function<void(LogLevel level,
+                                   const std::string &msg)>;
+
+/**
+ * Replace the log sink (default: "level: msg" lines on stderr).
+ * Passing an empty function restores the default. Tests use this to
+ * capture log output; the CLI uses it to mirror warnings into the
+ * trace as instant events. setQuiet() is applied *before* the sink,
+ * so a quiet process stays quiet whatever sink is installed.
+ * @return the previously installed sink (empty if it was the
+ *         default), so callers can chain or restore it.
+ */
+LogSink setLogSink(LogSink sink);
 
 } // namespace rigor
 

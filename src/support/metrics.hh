@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges and fixed-bucket
+ * histograms with near-zero-cost updates and JSON snapshot export.
+ *
+ * Instrumented code looks its metric up once (a map lookup) and holds
+ * a reference; the hot-path update is then a single add on a plain
+ * integer. The registry owns every metric, keeps registration order
+ * deterministic (std::map), and serializes to a stable JSON schema so
+ * two identical runs produce byte-identical snapshots
+ * (see docs/OBSERVABILITY.md for the schema).
+ */
+
+#ifndef RIGOR_SUPPORT_METRICS_HH
+#define RIGOR_SUPPORT_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace rigor {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    /** Add `n` to the counter. */
+    void inc(uint64_t n = 1) { val += n; }
+
+    uint64_t value() const { return val; }
+
+  private:
+    uint64_t val = 0;
+};
+
+/** Last-write-wins scalar (e.g. a high-water mark or a config knob). */
+class Gauge
+{
+  public:
+    void set(double v) { val = v; }
+
+    double value() const { return val; }
+
+  private:
+    double val = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram. Buckets are defined by their inclusive
+ * upper bounds; one implicit overflow bucket (+inf) catches the rest.
+ */
+class Histogram
+{
+  public:
+    /** @param upper_bounds strictly increasing bucket upper bounds. */
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    /** Record one observation. */
+    void observe(double v);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    const std::vector<double> &bounds() const { return bounds_; }
+    /** Per-bucket counts; back() is the +inf overflow bucket. */
+    const std::vector<uint64_t> &bucketCounts() const { return counts; }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<uint64_t> counts;  ///< bounds_.size() + 1 entries
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Owner and namespace of all metrics for one process/run. Lookups
+ * create the metric on first use; returned references stay valid for
+ * the registry's lifetime. Registering the same name as two different
+ * metric kinds panics (it is a bug, not an input error).
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /**
+     * Find-or-create a histogram. `upper_bounds` is used only on
+     * first registration; later lookups ignore it.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> upper_bounds);
+
+    /** Counter value, or 0 if never registered (for tests/reports). */
+    uint64_t counterValue(const std::string &name) const;
+
+    /**
+     * Snapshot every metric:
+     *   {"counters": {name: value, ...},
+     *    "gauges": {name: value, ...},
+     *    "histograms": {name: {"count": n, "sum": s,
+     *                          "buckets": [{"le": bound|"+inf",
+     *                                       "count": n}, ...]}}}
+     */
+    Json toJson() const;
+
+    /**
+     * `count` upper bounds starting at `start`, each `factor` times
+     * the previous (the standard decades-spanning time buckets).
+     */
+    static std::vector<double> exponentialBuckets(double start,
+                                                  double factor,
+                                                  int count);
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+} // namespace rigor
+
+#endif // RIGOR_SUPPORT_METRICS_HH

@@ -166,8 +166,10 @@ Interp::trackAlloc(Object *obj)
     simBrk += sz;
     ++stats_.allocations;
     stats_.allocatedBytes += sz;
-    if (obs)
+    if (obs) {
         obs->onAlloc(obj->simAddr, obj->simSize);
+        obs->onAllocSite(curSite, obj->simSize);
+    }
 }
 
 void
@@ -1089,6 +1091,7 @@ Interp::evalFrame(Frame &frame)
         uint32_t uops = opBaseUops(op);
         bool dispatched = !compiled;
         if (obs) {
+            curSite = (static_cast<uint64_t>(code->codeId) << 20) | pc;
             // Instruction-fetch model: interpreter handlers live in
             // a small shared region (one slot per opcode, ~16 KiB
             // total -> L1I friendly); compiled code occupies a

@@ -232,6 +232,13 @@ class Interp
 
     /** Simulated-heap bump pointer (includes ASLR base). */
     uint64_t simBrk = 0;
+    /**
+     * Site of the bytecode currently executing, (codeId << 20) | pc
+     * (the branch-site encoding); attributes allocations to their
+     * allocating bytecode for onAllocSite(). Maintained only while an
+     * observer is attached.
+     */
+    uint64_t curSite = 0;
     int callDepth = 0;
 
     std::string outputBuf;

@@ -1,0 +1,101 @@
+#include "vm/metrics_observer.hh"
+
+namespace rigor {
+namespace vm {
+
+MetricsObserver::MetricsObserver(MetricsRegistry *registry,
+                                 const std::string &tier_prefix,
+                                 TraceEmitter *trace_emitter)
+    : trace(trace_emitter)
+{
+    if (!registry)
+        return;
+    auto c = [&](const char *name) -> Counter * {
+        return &registry->counter(tier_prefix + "." + name);
+    };
+    bytecodes = c("bytecodes");
+    uopsTotal = c("uops");
+    dispatches = c("dispatches");
+    branches = c("branches");
+    allocations = c("allocations");
+    allocatedBytes = c("allocated_bytes");
+    calls = c("calls");
+    jitCompiles = c("jit_compiles");
+    jitCompileUops = c("jit_compile_uops");
+    guardFailures = c("guard_failures");
+}
+
+void
+MetricsObserver::onBytecode(Op op, uint32_t uops)
+{
+    (void)op;
+    if (bytecodes) {
+        bytecodes->inc();
+        uopsTotal->inc(uops);
+    }
+}
+
+void
+MetricsObserver::onDispatch(Op op)
+{
+    (void)op;
+    if (dispatches)
+        dispatches->inc();
+}
+
+void
+MetricsObserver::onBranch(uint64_t site, bool taken)
+{
+    (void)site;
+    (void)taken;
+    if (branches)
+        branches->inc();
+}
+
+void
+MetricsObserver::onAlloc(uint64_t addr, uint32_t size)
+{
+    (void)addr;
+    if (allocations) {
+        allocations->inc();
+        allocatedBytes->inc(size);
+    }
+}
+
+void
+MetricsObserver::onCall()
+{
+    if (calls)
+        calls->inc();
+}
+
+void
+MetricsObserver::onJitCompile(uint32_t code_id, uint64_t cost_uops)
+{
+    if (jitCompiles) {
+        jitCompiles->inc();
+        jitCompileUops->inc(cost_uops);
+    }
+    if (trace) {
+        Json args = Json::object();
+        args.set("code_id", static_cast<int64_t>(code_id));
+        args.set("cost_uops", static_cast<int64_t>(cost_uops));
+        trace->instant("jit_compile", "vm", std::move(args));
+    }
+}
+
+void
+MetricsObserver::onGuardFailure(Op op)
+{
+    if (guardFailures)
+        guardFailures->inc();
+    if (trace && deoptInstants < maxDeoptInstants) {
+        ++deoptInstants;
+        Json args = Json::object();
+        args.set("op", opName(op));
+        trace->instant("deopt", "vm", std::move(args));
+    }
+}
+
+} // namespace vm
+} // namespace rigor

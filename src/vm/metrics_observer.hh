@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ExecutionObserver that feeds the VM's dynamic-event stream into a
+ * MetricsRegistry and (optionally) a TraceEmitter. Multiplexed
+ * alongside the uarch model on the ExecutionObserver seam, so runs
+ * can be measured and observed at the same time.
+ *
+ * Counters are resolved once at construction (name -> pointer), so
+ * the per-event cost is one virtual call plus a few integer adds.
+ * Metric names are prefixed per tier ("vm.interp.*" /
+ * "vm.adaptive.*"): the same registry can carry both tiers of a
+ * comparison without the totals bleeding into each other.
+ */
+
+#ifndef RIGOR_VM_METRICS_OBSERVER_HH
+#define RIGOR_VM_METRICS_OBSERVER_HH
+
+#include "support/metrics.hh"
+#include "support/trace.hh"
+#include "vm/observer.hh"
+
+namespace rigor {
+namespace vm {
+
+/** Streams VM execution events into metrics and trace instants. */
+class MetricsObserver : public ExecutionObserver
+{
+  public:
+    /**
+     * @param registry destination registry, or nullptr (trace only).
+     * @param tier_prefix metric-name prefix, e.g. "vm.interp".
+     * @param trace optional emitter for jit_compile / deopt instant
+     *        events, timestamped at the modelled clock's current
+     *        position (the enclosing iteration's start).
+     */
+    MetricsObserver(MetricsRegistry *registry,
+                    const std::string &tier_prefix,
+                    TraceEmitter *trace = nullptr);
+
+    void onBytecode(Op op, uint32_t uops) override;
+    void onDispatch(Op op) override;
+    void onBranch(uint64_t site, bool taken) override;
+    void onAlloc(uint64_t addr, uint32_t size) override;
+    void onCall() override;
+    void onJitCompile(uint32_t code_id, uint64_t cost_uops) override;
+    void onGuardFailure(Op op) override;
+
+    /**
+     * Guard failures can number in the millions; emitting an instant
+     * event per deopt would dwarf the rest of the trace. Only the
+     * first `n` per observer become instants (the counter still sees
+     * every one); the default keeps traces loadable.
+     */
+    void setMaxDeoptInstants(uint64_t n) { maxDeoptInstants = n; }
+
+  private:
+    // Cached metric handles (null when no registry was given).
+    Counter *bytecodes = nullptr;
+    Counter *uopsTotal = nullptr;
+    Counter *dispatches = nullptr;
+    Counter *branches = nullptr;
+    Counter *allocations = nullptr;
+    Counter *allocatedBytes = nullptr;
+    Counter *calls = nullptr;
+    Counter *jitCompiles = nullptr;
+    Counter *jitCompileUops = nullptr;
+    Counter *guardFailures = nullptr;
+
+    TraceEmitter *trace;
+    uint64_t deoptInstants = 0;
+    uint64_t maxDeoptInstants = 64;
+};
+
+} // namespace vm
+} // namespace rigor
+
+#endif // RIGOR_VM_METRICS_OBSERVER_HH

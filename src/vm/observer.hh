@@ -14,6 +14,7 @@
 #define RIGOR_VM_OBSERVER_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "vm/code.hh"
 
@@ -96,6 +97,19 @@ class ExecutionObserver
         (void)size;
     }
 
+    /**
+     * Bytecode-site attribution of an allocation (profiling).
+     * @param site (codeId << 20) | pc of the allocating bytecode, the
+     *        same encoding branch sites use; 0 when the allocation
+     *        happened outside bytecode execution (VM setup).
+     */
+    virtual void
+    onAllocSite(uint64_t site, uint32_t size)
+    {
+        (void)site;
+        (void)size;
+    }
+
     /** Entering a MiniPy function call. */
     virtual void onCall() {}
     /** Returning from a MiniPy function call. */
@@ -118,6 +132,105 @@ class ExecutionObserver
     {
         (void)op;
     }
+};
+
+/**
+ * Fans the event stream out to several observers (e.g. the uarch
+ * model plus a MetricsObserver). The VM takes a single observer
+ * pointer; runs that want more than one attach them here and pass the
+ * multiplexer. Only constructed when more than one sink is active, so
+ * single-observer runs pay no extra virtual hop.
+ */
+class MultiplexObserver : public ExecutionObserver
+{
+  public:
+    /** Attach a sink (not owned; must outlive the multiplexer). */
+    void
+    add(ExecutionObserver *observer)
+    {
+        if (observer)
+            sinks.push_back(observer);
+    }
+
+    void
+    onBytecode(Op op, uint32_t uops) override
+    {
+        for (auto *s : sinks)
+            s->onBytecode(op, uops);
+    }
+
+    void
+    onDispatch(Op op) override
+    {
+        for (auto *s : sinks)
+            s->onDispatch(op);
+    }
+
+    void
+    onBranch(uint64_t site, bool taken) override
+    {
+        for (auto *s : sinks)
+            s->onBranch(site, taken);
+    }
+
+    void
+    onCodeFetch(uint64_t addr) override
+    {
+        for (auto *s : sinks)
+            s->onCodeFetch(addr);
+    }
+
+    void
+    onMemAccess(uint64_t addr, uint32_t size, bool is_write) override
+    {
+        for (auto *s : sinks)
+            s->onMemAccess(addr, size, is_write);
+    }
+
+    void
+    onAlloc(uint64_t addr, uint32_t size) override
+    {
+        for (auto *s : sinks)
+            s->onAlloc(addr, size);
+    }
+
+    void
+    onAllocSite(uint64_t site, uint32_t size) override
+    {
+        for (auto *s : sinks)
+            s->onAllocSite(site, size);
+    }
+
+    void
+    onCall() override
+    {
+        for (auto *s : sinks)
+            s->onCall();
+    }
+
+    void
+    onReturn() override
+    {
+        for (auto *s : sinks)
+            s->onReturn();
+    }
+
+    void
+    onJitCompile(uint32_t code_id, uint64_t cost_uops) override
+    {
+        for (auto *s : sinks)
+            s->onJitCompile(code_id, cost_uops);
+    }
+
+    void
+    onGuardFailure(Op op) override
+    {
+        for (auto *s : sinks)
+            s->onGuardFailure(op);
+    }
+
+  private:
+    std::vector<ExecutionObserver *> sinks;
 };
 
 } // namespace vm

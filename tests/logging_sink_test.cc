@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Log-sink tests: warn()/inform() must route through an installed
+ * sink, honour quiet mode before the sink sees anything, and restore
+ * the default stderr path when the sink is removed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace rigor {
+namespace {
+
+/** RAII capture of warn()/inform() into a vector. */
+class SinkCapture
+{
+  public:
+    SinkCapture()
+    {
+        previous = setLogSink(
+            [this](LogLevel level, const std::string &msg) {
+                lines.emplace_back(level, msg);
+            });
+    }
+    ~SinkCapture() { setLogSink(std::move(previous)); }
+
+    std::vector<std::pair<LogLevel, std::string>> lines;
+
+  private:
+    LogSink previous;
+};
+
+TEST(LogSink, CapturesWarnAndInform)
+{
+    SinkCapture cap;
+    warn("disk %d is on fire", 3);
+    inform("all is well");
+    ASSERT_EQ(cap.lines.size(), 2u);
+    EXPECT_EQ(cap.lines[0].first, LogLevel::Warn);
+    EXPECT_EQ(cap.lines[0].second, "disk 3 is on fire");
+    EXPECT_EQ(cap.lines[1].first, LogLevel::Info);
+    EXPECT_EQ(cap.lines[1].second, "all is well");
+}
+
+TEST(LogSink, QuietSuppressesBeforeSink)
+{
+    SinkCapture cap;
+    setQuiet(true);
+    warn("should not appear");
+    inform("nor this");
+    setQuiet(false);
+    EXPECT_TRUE(cap.lines.empty());
+    warn("visible again");
+    EXPECT_EQ(cap.lines.size(), 1u);
+}
+
+TEST(LogSink, RemovingSinkRestoresDefault)
+{
+    {
+        SinkCapture cap;
+        warn("captured");
+        EXPECT_EQ(cap.lines.size(), 1u);
+    }
+    // Sink removed; this must not crash (goes to stderr) and must not
+    // touch the destroyed capture buffer.
+    warn("back to stderr");
+}
+
+TEST(LogSink, LevelNames)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+    EXPECT_STREQ(logLevelName(LogLevel::Info), "info");
+}
+
+} // namespace
+} // namespace rigor

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Metrics-registry tests: registration, stable references, histogram
+ * bucketing and the JSON snapshot schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/metrics.hh"
+
+namespace rigor {
+namespace {
+
+TEST(Metrics, CounterIncrementsAndIsStable)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("a.events");
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Second lookup resolves to the same metric.
+    EXPECT_EQ(&reg.counter("a.events"), &c);
+    EXPECT_EQ(reg.counterValue("a.events"), 42u);
+    EXPECT_EQ(reg.counterValue("never.registered"), 0u);
+}
+
+TEST(Metrics, GaugeLastWriteWins)
+{
+    MetricsRegistry reg;
+    Gauge &g = reg.gauge("depth");
+    g.set(3.5);
+    g.set(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), -1.0);
+    EXPECT_EQ(&reg.gauge("depth"), &g);
+}
+
+TEST(Metrics, HistogramBucketing)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("ms", {1.0, 10.0, 100.0});
+    h.observe(0.5);    // <= 1
+    h.observe(1.0);    // <= 1 (bounds are inclusive)
+    h.observe(5.0);    // <= 10
+    h.observe(99.0);   // <= 100
+    h.observe(1000.0); // +inf overflow
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 1105.5);
+    ASSERT_EQ(h.bucketCounts().size(), 4u);
+    EXPECT_EQ(h.bucketCounts()[0], 2u);
+    EXPECT_EQ(h.bucketCounts()[1], 1u);
+    EXPECT_EQ(h.bucketCounts()[2], 1u);
+    EXPECT_EQ(h.bucketCounts()[3], 1u);
+    // Re-registration ignores the (different) bounds argument.
+    EXPECT_EQ(&reg.histogram("ms", {5.0}), &h);
+}
+
+TEST(Metrics, HistogramRejectsBadBounds)
+{
+    EXPECT_THROW(Histogram({}), PanicError);
+    EXPECT_THROW(Histogram({1.0, 1.0}), PanicError);
+    EXPECT_THROW(Histogram({2.0, 1.0}), PanicError);
+}
+
+TEST(Metrics, ExponentialBuckets)
+{
+    auto b = MetricsRegistry::exponentialBuckets(0.5, 2.0, 4);
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_DOUBLE_EQ(b[0], 0.5);
+    EXPECT_DOUBLE_EQ(b[3], 4.0);
+    EXPECT_THROW(MetricsRegistry::exponentialBuckets(0.0, 2.0, 4),
+                 PanicError);
+    EXPECT_THROW(MetricsRegistry::exponentialBuckets(1.0, 1.0, 4),
+                 PanicError);
+}
+
+TEST(Metrics, KindCollisionPanics)
+{
+    MetricsRegistry reg;
+    reg.counter("x");
+    EXPECT_THROW(reg.gauge("x"), PanicError);
+    EXPECT_THROW(reg.histogram("x", {1.0}), PanicError);
+    reg.gauge("y");
+    EXPECT_THROW(reg.counter("y"), PanicError);
+}
+
+TEST(Metrics, JsonSnapshotSchema)
+{
+    MetricsRegistry reg;
+    reg.counter("c").inc(7);
+    reg.gauge("g").set(2.5);
+    reg.histogram("h", {1.0, 10.0}).observe(3.0);
+
+    // Round-trip through the serializer to prove well-formedness.
+    Json doc = Json::parse(reg.toJson().dump(2));
+    EXPECT_EQ(doc.at("counters").at("c").asInt(), 7);
+    EXPECT_DOUBLE_EQ(doc.at("gauges").at("g").asDouble(), 2.5);
+    const Json &h = doc.at("histograms").at("h");
+    EXPECT_EQ(h.at("count").asInt(), 1);
+    EXPECT_DOUBLE_EQ(h.at("sum").asDouble(), 3.0);
+    ASSERT_EQ(h.at("buckets").size(), 3u);
+    EXPECT_DOUBLE_EQ(h.at("buckets").at(0).at("le").asDouble(), 1.0);
+    EXPECT_EQ(h.at("buckets").at(0).at("count").asInt(), 0);
+    EXPECT_EQ(h.at("buckets").at(1).at("count").asInt(), 1);
+    EXPECT_EQ(h.at("buckets").at(2).at("le").asString(), "+inf");
+}
+
+} // namespace
+} // namespace rigor

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Harness-observability integration tests: a metered/traced run must
+ * produce nonzero VM counters, a well-formed span tree, fault-path
+ * instants, and byte-identical artifacts across identical runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/fault.hh"
+#include "harness/runner.hh"
+#include "support/json.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
+
+namespace rigor {
+namespace harness {
+namespace {
+
+RunnerConfig
+obsConfig(MetricsRegistry *metrics, TraceEmitter *trace)
+{
+    RunnerConfig cfg;
+    cfg.invocations = 3;
+    cfg.iterations = 5;
+    cfg.tier = vm::Tier::Interp;
+    cfg.seed = 0xabc;
+    cfg.size = workloads::findWorkload("sieve").testSize;
+    cfg.metrics = metrics;
+    cfg.trace = trace;
+    return cfg;
+}
+
+/** Count trace events matching (ph, name). */
+size_t
+countEvents(const Json &doc, const std::string &ph,
+            const std::string &name)
+{
+    const Json &evs = doc.at("traceEvents");
+    size_t n = 0;
+    for (size_t i = 0; i < evs.size(); ++i) {
+        const Json &e = evs.at(i);
+        if (e.at("ph").asString() == ph &&
+            e.at("name").asString() == name)
+            ++n;
+    }
+    return n;
+}
+
+TEST(Observability, MeteredRunRecordsHarnessAndVmCounters)
+{
+    MetricsRegistry reg;
+    auto cfg = obsConfig(&reg, nullptr);
+    runExperiment("sieve", cfg);
+
+    EXPECT_EQ(reg.counterValue("harness.invocations"), 3u);
+    EXPECT_EQ(reg.counterValue("harness.invocations_attempted"), 3u);
+    EXPECT_EQ(reg.counterValue("harness.iterations"), 15u);
+    EXPECT_EQ(reg.counterValue("harness.failures"), 0u);
+    EXPECT_GT(reg.counterValue("vm.interp.bytecodes"), 0u);
+    EXPECT_GT(reg.counterValue("vm.interp.uops"), 0u);
+    EXPECT_GT(reg.counterValue("vm.interp.dispatches"), 0u);
+    EXPECT_GT(reg.counterValue("vm.interp.allocations"), 0u);
+    // Interp tier never compiles.
+    EXPECT_EQ(reg.counterValue("vm.interp.jit_compiles"), 0u);
+}
+
+TEST(Observability, TracedRunHasBalancedSpans)
+{
+    TraceEmitter tr;
+    auto cfg = obsConfig(nullptr, &tr);
+    runExperiment("sieve", cfg);
+    EXPECT_EQ(tr.openSpans(), 0u);
+
+    // Round-trip through the serializer before inspecting.
+    Json doc = Json::parse(tr.toJson().dump(1));
+    EXPECT_EQ(countEvents(doc, "B", "workload"), 0u);  // named by wl
+    EXPECT_EQ(countEvents(doc, "B", "sieve"), 1u);
+    EXPECT_EQ(countEvents(doc, "E", "sieve"), 1u);
+    EXPECT_EQ(countEvents(doc, "B", "invocation"), 3u);
+    EXPECT_EQ(countEvents(doc, "E", "invocation"), 3u);
+    EXPECT_EQ(countEvents(doc, "B", "iteration"), 15u);
+    EXPECT_EQ(countEvents(doc, "E", "iteration"), 15u);
+}
+
+TEST(Observability, AdaptiveRunEmitsJitCompileInstants)
+{
+    MetricsRegistry reg;
+    TraceEmitter tr;
+    auto cfg = obsConfig(&reg, &tr);
+    cfg.tier = vm::Tier::Adaptive;
+    cfg.jitThreshold = 16;  // compile early so a short run sees it
+    runExperiment("sieve", cfg);
+
+    EXPECT_GT(reg.counterValue("vm.adaptive.jit_compiles"), 0u);
+    Json doc = tr.toJson();
+    EXPECT_GE(countEvents(doc, "i", "jit_compile"), 1u);
+}
+
+TEST(Observability, IdenticalRunsProduceIdenticalArtifacts)
+{
+    std::string trace_a, trace_b, metrics_a, metrics_b;
+    for (int round = 0; round < 2; ++round) {
+        MetricsRegistry reg;
+        TraceEmitter tr;
+        auto cfg = obsConfig(&reg, &tr);
+        cfg.tier = vm::Tier::Adaptive;
+        runExperiment("sieve", cfg);
+        (round == 0 ? trace_a : trace_b) = tr.toJson().dump(1);
+        (round == 0 ? metrics_a : metrics_b) = reg.toJson().dump(2);
+    }
+    EXPECT_EQ(trace_a, trace_b);    // modelled clock => byte-identical
+    EXPECT_EQ(metrics_a, metrics_b);
+}
+
+TEST(Observability, InjectedFaultLeavesRetryTrail)
+{
+    FaultPlan plan;
+    plan.add("throw:inv=1:n=1");
+    MetricsRegistry reg;
+    TraceEmitter tr;
+    auto cfg = obsConfig(&reg, &tr);
+    FaultInjector inj(std::move(plan), cfg.seed);
+    cfg.faults = &inj;
+    cfg.maxRetries = 1;
+    RunResult run = runExperiment("sieve", cfg);
+    ASSERT_EQ(run.failures.size(), 1u);
+
+    EXPECT_EQ(reg.counterValue("harness.faults_injected"), 1u);
+    EXPECT_EQ(reg.counterValue("harness.failures"), 1u);
+    EXPECT_EQ(reg.counterValue("harness.failures.vm-error"), 1u);
+    EXPECT_EQ(reg.counterValue("harness.retries"), 1u);
+    EXPECT_EQ(reg.counterValue("harness.invocations"), 3u);
+    // Mirrors RunResult::invocationsAttempted: slots tried, not
+    // individual attempts — the retried slot still counts once.
+    EXPECT_EQ(reg.counterValue("harness.invocations_attempted"), 3u);
+
+    EXPECT_EQ(tr.openSpans(), 0u);  // the failed span was unwound
+    Json doc = tr.toJson();
+    EXPECT_EQ(countEvents(doc, "i", "fault_injected"), 1u);
+    EXPECT_EQ(countEvents(doc, "i", "invocation_failure"), 1u);
+    EXPECT_EQ(countEvents(doc, "i", "retry"), 1u);
+    // 4 attempts opened, 4 closed (one via the unwind path).
+    EXPECT_EQ(countEvents(doc, "B", "invocation"), 4u);
+    EXPECT_EQ(countEvents(doc, "E", "invocation"), 4u);
+}
+
+} // namespace
+} // namespace harness
+} // namespace rigor

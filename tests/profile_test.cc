@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Profile-subsystem tests: opcode accounting must add up, tier split
+ * must reflect where execution actually ran, and the rendered report
+ * must contain the advertised tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/profile.hh"
+#include "vm/code.hh"
+
+namespace rigor {
+namespace harness {
+namespace {
+
+ProfileConfig
+smallConfig(vm::Tier tier)
+{
+    ProfileConfig cfg;
+    cfg.tier = tier;
+    cfg.iterations = 4;
+    cfg.size = workloads::findWorkload("sieve").testSize;
+    return cfg;
+}
+
+TEST(Profile, OpcodeAccountingAddsUp)
+{
+    ProfileResult p =
+        profileWorkload("sieve", smallConfig(vm::Tier::Interp));
+    ASSERT_FALSE(p.ops.empty());
+
+    uint64_t count_sum = 0, uop_sum = 0;
+    double pct_sum = 0.0;
+    for (const auto &e : p.ops) {
+        EXPECT_GT(e.count, 0u);
+        // Interp tier dispatches every executed bytecode.
+        EXPECT_EQ(e.dispatched, e.count);
+        count_sum += e.count;
+        uop_sum += e.uops;
+        pct_sum += e.uopsPercent;
+    }
+    EXPECT_EQ(count_sum, p.totalBytecodes);
+    EXPECT_EQ(uop_sum, p.totalUops);
+    EXPECT_NEAR(pct_sum, 100.0, 1e-6);
+    EXPECT_EQ(p.jitCompiles, 0u);
+    // Sorted hottest-first by uops.
+    for (size_t i = 1; i < p.ops.size(); ++i)
+        EXPECT_GE(p.ops[i - 1].uops, p.ops[i].uops);
+}
+
+TEST(Profile, AdaptiveTierShowsJitActivity)
+{
+    auto cfg = smallConfig(vm::Tier::Adaptive);
+    cfg.jitThreshold = 16;
+    ProfileResult p = profileWorkload("sieve", cfg);
+    EXPECT_GT(p.jitCompiles, 0u);
+    // At least one opcode must have run mostly in compiled code
+    // (executed without an interpreter dispatch).
+    bool saw_jit_resident = false;
+    for (const auto &e : p.ops)
+        if (e.dispatched < e.count)
+            saw_jit_resident = true;
+    EXPECT_TRUE(saw_jit_resident);
+}
+
+TEST(Profile, SiteTablesAreAttributed)
+{
+    ProfileResult p =
+        profileWorkload("sieve", smallConfig(vm::Tier::Interp));
+    ASSERT_FALSE(p.branchSites.empty());
+    ASSERT_FALSE(p.allocSites.empty());
+    for (const auto &b : p.branchSites) {
+        EXPECT_FALSE(b.location.empty());
+        EXPECT_LE(b.taken, b.count);
+    }
+    for (const auto &a : p.allocSites) {
+        EXPECT_FALSE(a.location.empty());
+        EXPECT_GT(a.count, 0u);
+    }
+    // Sorted by count / bytes respectively.
+    for (size_t i = 1; i < p.branchSites.size(); ++i)
+        EXPECT_GE(p.branchSites[i - 1].count, p.branchSites[i].count);
+    for (size_t i = 1; i < p.allocSites.size(); ++i)
+        EXPECT_GE(p.allocSites[i - 1].bytes, p.allocSites[i].bytes);
+}
+
+TEST(Profile, DeterministicForFixedSeed)
+{
+    auto cfg = smallConfig(vm::Tier::Adaptive);
+    ProfileResult a = profileWorkload("sieve", cfg);
+    ProfileResult b = profileWorkload("sieve", cfg);
+    EXPECT_EQ(a.totalBytecodes, b.totalBytecodes);
+    EXPECT_EQ(a.totalUops, b.totalUops);
+    EXPECT_EQ(renderProfile(a), renderProfile(b));
+}
+
+TEST(Profile, RenderContainsTables)
+{
+    ProfileResult p =
+        profileWorkload("sieve", smallConfig(vm::Tier::Interp));
+    std::string out = renderProfile(p, 5);
+    EXPECT_NE(out.find("profile: sieve / interp"), std::string::npos);
+    EXPECT_NE(out.find("% uops"), std::string::npos);
+    EXPECT_NE(out.find("top branch sites"), std::string::npos);
+    EXPECT_NE(out.find("top allocation sites"), std::string::npos);
+    EXPECT_NE(out.find(vm::opName(p.ops[0].op)), std::string::npos);
+}
+
+} // namespace
+} // namespace harness
+} // namespace rigor

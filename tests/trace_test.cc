@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Trace-emitter tests: event structure, modelled-clock timestamps,
+ * span nesting/unwinding and Chrome trace-event well-formedness
+ * (every document must parse back with support/json).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/trace.hh"
+
+namespace rigor {
+namespace {
+
+TEST(Trace, SpansUseModelledClock)
+{
+    TraceEmitter tr;
+    tr.beginSpan("outer", "test");
+    tr.advanceMs(1.5);
+    tr.beginSpan("inner", "test");
+    tr.advanceMs(0.5);
+    tr.endSpan();
+    tr.endSpan();
+
+    Json doc = tr.toJson();
+    const Json &evs = doc.at("traceEvents");
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs.at(0).at("ph").asString(), "B");
+    EXPECT_EQ(evs.at(0).at("name").asString(), "outer");
+    EXPECT_DOUBLE_EQ(evs.at(0).at("ts").asDouble(), 0.0);
+    EXPECT_EQ(evs.at(1).at("name").asString(), "inner");
+    EXPECT_DOUBLE_EQ(evs.at(1).at("ts").asDouble(), 1500.0);
+    // E events close innermost-first at the clock's position.
+    EXPECT_EQ(evs.at(2).at("ph").asString(), "E");
+    EXPECT_EQ(evs.at(2).at("name").asString(), "inner");
+    EXPECT_DOUBLE_EQ(evs.at(2).at("ts").asDouble(), 2000.0);
+    EXPECT_EQ(evs.at(3).at("name").asString(), "outer");
+}
+
+TEST(Trace, InstantEventsCarryArgs)
+{
+    TraceEmitter tr;
+    tr.advanceMs(2.0);
+    Json args = Json::object();
+    args.set("code_id", 7);
+    tr.instant("jit_compile", "vm", std::move(args));
+
+    Json doc = tr.toJson();
+    const Json &e = doc.at("traceEvents").at(0);
+    EXPECT_EQ(e.at("ph").asString(), "i");
+    EXPECT_EQ(e.at("s").asString(), "t");
+    EXPECT_EQ(e.at("cat").asString(), "vm");
+    EXPECT_DOUBLE_EQ(e.at("ts").asDouble(), 2000.0);
+    EXPECT_EQ(e.at("args").at("code_id").asInt(), 7);
+}
+
+TEST(Trace, EndSpanWithoutOpenPanics)
+{
+    TraceEmitter tr;
+    EXPECT_THROW(tr.endSpan(), PanicError);
+}
+
+TEST(Trace, EndSpansToUnwindsToDepth)
+{
+    TraceEmitter tr;
+    tr.beginSpan("a", "t");
+    size_t depth = tr.openSpans();
+    tr.beginSpan("b", "t");
+    tr.beginSpan("c", "t");
+    EXPECT_EQ(tr.openSpans(), 3u);
+    tr.endSpansTo(depth);
+    EXPECT_EQ(tr.openSpans(), 1u);
+    tr.endSpansTo(0);
+    EXPECT_EQ(tr.openSpans(), 0u);
+    // a, b, c opened; c, b, a closed.
+    EXPECT_EQ(tr.eventCount(), 6u);
+}
+
+TEST(Trace, DocumentParsesBack)
+{
+    TraceEmitter tr;
+    tr.beginSpan("span \"quoted\"", "harness");
+    tr.instant("warn", "log");
+    tr.advanceMs(0.25);
+    tr.endSpan();
+
+    Json doc = Json::parse(tr.toJson().dump(1));
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    ASSERT_EQ(doc.at("traceEvents").size(), 3u);
+    EXPECT_EQ(doc.at("traceEvents").at(0).at("name").asString(),
+              "span \"quoted\"");
+}
+
+} // namespace
+} // namespace rigor

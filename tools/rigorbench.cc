@@ -7,10 +7,13 @@
  *   rigorbench run <workload> [options]
  *   rigorbench compare <workload> [options]
  *   rigorbench sequential <workload> [options]
+ *   rigorbench profile <workload> [options]
  *   rigorbench suite [options]
+ *   rigorbench help
  *
  * Common options:
- *   --tier interp|adaptive   (run only; default interp)
+ *   --tier interp|adaptive   (run only; default interp,
+ *                            profile defaults to adaptive)
  *   --invocations N          (default 8)
  *   --iterations N           (default 20)
  *   --size N                 (default: workload's defaultSize)
@@ -20,6 +23,12 @@
  *   --json FILE              dump the raw run as JSON
  *   --csv FILE               dump per-iteration samples as CSV
  *   --no-noise               disable the measurement-noise model
+ *   --quiet                  silence warn()/inform() status output
+ *
+ * Observability (see docs/OBSERVABILITY.md):
+ *   --metrics FILE           write a metrics-registry JSON snapshot
+ *   --trace FILE             write a Chrome trace-event JSON
+ *                            (Perfetto-loadable, modelled clock)
  *
  * Fault tolerance:
  *   --inject SPEC            inject a fault (repeatable); SPEC is
@@ -43,12 +52,15 @@
 #include "harness/analysis.hh"
 #include "harness/envcheck.hh"
 #include "harness/fault.hh"
+#include "harness/profile.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/sequential.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/str.hh"
 #include "support/table.hh"
+#include "support/trace.hh"
 #include "vm/compiler.hh"
 
 using namespace rigor;
@@ -60,6 +72,8 @@ struct Options
     std::string command;
     std::string workload;
     vm::Tier tier = vm::Tier::Interp;
+    /** True once --tier was given (profile defaults differently). */
+    bool tierSet = false;
     int invocations = 8;
     int iterations = 20;
     int64_t size = 0;
@@ -69,25 +83,40 @@ struct Options
     std::string jsonPath;
     std::string csvPath;
     bool noNoise = false;
+    bool quiet = false;
     harness::FaultPlan faultPlan;
     int maxRetries = 2;
     double deadlineMs = 0.0;
     std::string resumePath;
+    std::string metricsPath;
+    std::string tracePath;
+
+    // Observability sinks, shared by every run of the command
+    // (not owned; set up in main when requested).
+    MetricsRegistry *metrics = nullptr;
+    TraceEmitter *trace = nullptr;
 };
 
-[[noreturn]] void
-usage()
+void
+printUsage(std::FILE *out)
 {
     std::fprintf(
-        stderr,
+        out,
         "usage: rigorbench <list|env|disasm|run|compare|"
-        "sequential|suite> [workload] [options]\n"
+        "sequential|profile|suite|help> [workload] [options]\n"
         "options: --tier interp|adaptive --invocations N "
         "--iterations N --size N\n"
         "         --seed S --jit-threshold N --target PCT "
         "--json FILE --csv FILE --no-noise\n"
         "         --inject SPEC --max-retries N --deadline-ms X "
-        "--resume FILE\n");
+        "--resume FILE\n"
+        "         --metrics FILE --trace FILE --quiet\n");
+}
+
+[[noreturn]] void
+usage()
+{
+    printUsage(stderr);
     std::exit(2);
 }
 
@@ -124,6 +153,11 @@ parseArgs(int argc, char **argv)
     if (argc < 2)
         usage();
     opt.command = argv[1];
+    if (opt.command == "help" || opt.command == "--help" ||
+        opt.command == "-h") {
+        printUsage(stdout);
+        std::exit(0);
+    }
     int i = 2;
     if (i < argc && argv[i][0] != '-')
         opt.workload = argv[i++];
@@ -134,7 +168,10 @@ parseArgs(int argc, char **argv)
                 usage();
             return argv[++i];
         };
-        if (a == "--tier") {
+        if (a == "--help" || a == "-h") {
+            printUsage(stdout);
+            std::exit(0);
+        } else if (a == "--tier") {
             std::string t = next();
             if (t == "interp")
                 opt.tier = vm::Tier::Interp;
@@ -142,6 +179,7 @@ parseArgs(int argc, char **argv)
                 opt.tier = vm::Tier::Adaptive;
             else
                 usage();
+            opt.tierSet = true;
         } else if (a == "--invocations") {
             opt.invocations = static_cast<int>(
                 parseInt("--invocations", next(), 1));
@@ -163,6 +201,12 @@ parseArgs(int argc, char **argv)
             opt.csvPath = next();
         } else if (a == "--no-noise") {
             opt.noNoise = true;
+        } else if (a == "--quiet") {
+            opt.quiet = true;
+        } else if (a == "--metrics") {
+            opt.metricsPath = next();
+        } else if (a == "--trace") {
+            opt.tracePath = next();
         } else if (a == "--inject") {
             opt.faultPlan.add(next());
         } else if (a == "--max-retries") {
@@ -195,6 +239,8 @@ makeConfig(const Options &opt, vm::Tier tier,
     cfg.maxRetries = opt.maxRetries;
     cfg.deadlineMs = opt.deadlineMs;
     cfg.faults = faults;
+    cfg.metrics = opt.metrics;
+    cfg.trace = opt.trace;
     return cfg;
 }
 
@@ -307,6 +353,23 @@ cmdRun(const Options &opt, const harness::FaultInjector *faults)
 }
 
 int
+cmdProfile(const Options &opt)
+{
+    harness::ProfileConfig pcfg;
+    // Profiling is mostly about explaining warmup/JIT behaviour, so
+    // the adaptive tier is the default here (run's default stays
+    // interp); --tier still overrides.
+    pcfg.tier = opt.tierSet ? opt.tier : vm::Tier::Adaptive;
+    pcfg.iterations = opt.iterations;
+    pcfg.size = opt.size;
+    pcfg.seed = opt.seed;
+    pcfg.jitThreshold = opt.jitThreshold;
+    auto prof = harness::profileWorkload(opt.workload, pcfg);
+    std::printf("%s", harness::renderProfile(prof).c_str());
+    return 0;
+}
+
+int
 cmdCompare(const Options &opt, const harness::FaultInjector *faults)
 {
     auto interp = harness::runExperiment(
@@ -397,6 +460,8 @@ runSuiteWorkload(const workloads::WorkloadSpec &w, const Options &opt,
         ws.quarantined = interp.quarantined || jit.quarantined;
         ws.failureCount = static_cast<int>(interp.failures.size() +
                                            jit.failures.size());
+        ws.modelledMs =
+            interp.totalModelledMs() + jit.totalModelledMs();
         if (interp.invocations.size() < 2 ||
             jit.invocations.size() < 2) {
             ws.failed = true;
@@ -431,13 +496,47 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
         }
     }
 
+    if (opt.trace)
+        opt.trace->beginSpan("suite", "harness");
+
+    // Heartbeat bookkeeping: long sweeps print one progress line per
+    // workload so a terminal shows where the suite is and how much
+    // modelled time and how many failures have accumulated.
+    size_t total = workloads::suite().size();
+    size_t done = 0;
+    double modelledMsTotal = 0.0;
+    int failuresTotal = 0;
     for (const auto &w : workloads::suite()) {
-        if (resuming && state.find(w.name))
+        ++done;
+        if (resuming && state.find(w.name)) {
+            const auto *ws = state.find(w.name);
+            modelledMsTotal += ws->modelledMs;
+            failuresTotal += ws->failureCount;
             continue;
+        }
         state.workloads.push_back(runSuiteWorkload(w, opt, faults));
+        const auto &ws = state.workloads.back();
+        modelledMsTotal += ws.modelledMs;
+        failuresTotal += ws.failureCount;
+        inform("suite [%zu/%zu] %s: %s; %.1f ms modelled, "
+               "%d failure(s) so far",
+               done, total, w.name.c_str(),
+               ws.quarantined ? "quarantined"
+                   : ws.failed ? "failed"
+                               : "ok",
+               modelledMsTotal, failuresTotal);
+        if (opt.metrics) {
+            opt.metrics->gauge("suite.workloads_done")
+                .set(static_cast<double>(done));
+            opt.metrics->gauge("suite.modelled_ms_total")
+                .set(modelledMsTotal);
+        }
         if (!opt.resumePath.empty())
             writeSuiteState(opt.resumePath, state);
     }
+
+    if (opt.trace)
+        opt.trace->endSpan();
 
     Table t({"benchmark", "interp ms", "adaptive ms",
              "speedup (95% CI)", "sig"});
@@ -492,6 +591,45 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
     return speedups.empty() ? 1 : 0;
 }
 
+/** Flush --metrics / --trace files after the command finished. */
+void
+writeObservability(const Options &opt)
+{
+    if (opt.metrics && !opt.metricsPath.empty()) {
+        std::ofstream os(opt.metricsPath);
+        if (!os)
+            fatal("cannot write %s", opt.metricsPath.c_str());
+        os << opt.metrics->toJson().dump(2) << "\n";
+        std::printf("wrote %s\n", opt.metricsPath.c_str());
+    }
+    if (opt.trace && !opt.tracePath.empty()) {
+        opt.trace->endSpansTo(0);
+        std::ofstream os(opt.tracePath);
+        if (!os)
+            fatal("cannot write %s", opt.tracePath.c_str());
+        os << opt.trace->toJson().dump(1) << "\n";
+        std::printf("wrote %s\n", opt.tracePath.c_str());
+    }
+}
+
+int
+dispatch(const Options &opt, const harness::FaultInjector *faults)
+{
+    if (opt.command == "disasm")
+        return cmdDisasm(opt);
+    if (opt.command == "run")
+        return cmdRun(opt, faults);
+    if (opt.command == "compare")
+        return cmdCompare(opt, faults);
+    if (opt.command == "sequential")
+        return cmdSequential(opt, faults);
+    if (opt.command == "profile")
+        return cmdProfile(opt);
+    if (opt.command == "suite")
+        return cmdSuite(opt, faults);
+    usage();
+}
+
 } // namespace
 
 int
@@ -499,6 +637,8 @@ main(int argc, char **argv)
 {
     try {
         Options opt = parseArgs(argc, argv);
+        if (opt.quiet)
+            setQuiet(true);
         harness::FaultInjector injector(opt.faultPlan, opt.seed);
         const harness::FaultInjector *faults =
             opt.faultPlan.empty() ? nullptr : &injector;
@@ -508,17 +648,29 @@ main(int argc, char **argv)
             return cmdEnv();
         if (opt.workload.empty() && opt.command != "suite")
             usage();
-        if (opt.command == "disasm")
-            return cmdDisasm(opt);
-        if (opt.command == "run")
-            return cmdRun(opt, faults);
-        if (opt.command == "compare")
-            return cmdCompare(opt, faults);
-        if (opt.command == "sequential")
-            return cmdSequential(opt, faults);
-        if (opt.command == "suite")
-            return cmdSuite(opt, faults);
-        usage();
+
+        MetricsRegistry metrics;
+        TraceEmitter trace;
+        if (!opt.metricsPath.empty())
+            opt.metrics = &metrics;
+        if (!opt.tracePath.empty()) {
+            opt.trace = &trace;
+            // Mirror status messages into the trace so warnings land
+            // next to the spans that caused them.
+            setLogSink([&trace](LogLevel level,
+                                const std::string &msg) {
+                std::fprintf(stderr, "%s: %s\n", logLevelName(level),
+                             msg.c_str());
+                Json args = Json::object();
+                args.set("message", msg);
+                trace.instant(logLevelName(level), "log",
+                              std::move(args));
+            });
+        }
+
+        int rc = dispatch(opt, faults);
+        writeObservability(opt);
+        return rc;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
