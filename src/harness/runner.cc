@@ -1,7 +1,14 @@
 #include "harness/runner.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "harness/fault.hh"
 #include "support/logging.hh"
@@ -196,6 +203,349 @@ backoffMs(const RunnerConfig &config, int attempt)
     return std::min(delay, config.backoffCapMs);
 }
 
+/**
+ * warn() plus a mirror of the message into the trace as a "log"
+ * instant at the current modelled time. Mirroring is owned by the
+ * runner, not by whatever log sink is installed: that way the
+ * instant lands at the same position in the document whether the
+ * message is delivered immediately (serial) or buffered and replayed
+ * at commit time (parallel). Quiet runs mirror nothing, matching the
+ * sink-after-setQuiet contract.
+ */
+__attribute__((format(printf, 2, 3))) void
+warnTraced(TraceEmitter *tr, const char *fmt, ...)
+{
+    if (quietEnabled())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    if (tr)
+        tr->logInstant("warn", msg);
+    warn("%s", msg.c_str());
+}
+
+/**
+ * Everything one invocation slot produced: the retry loop's failure
+ * records plus the successful result (if any). Slots have no side
+ * effects on the RunResult — the caller commits outcomes in
+ * invocation order, which is what keeps parallel execution
+ * byte-identical to serial.
+ */
+struct SlotOutcome
+{
+    bool succeeded = false;
+    InvocationResult result;
+    std::vector<InvocationFailure> failures;
+};
+
+/**
+ * Run the full attempt loop (with retries and backoff) for one
+ * invocation slot. Metric, trace and log output goes to whatever
+ * sinks config carries: the shared ones on the serial path,
+ * per-worker buffers on the parallel path.
+ *
+ * @param ref_checksum checksum of the run's first successful
+ * invocation for cross-invocation verification, or nullptr if no
+ * invocation has succeeded yet (or, on the parallel path, if the
+ * reference is not yet known — see extendParallel()).
+ */
+SlotOutcome
+runInvocationSlot(const vm::Program &prog,
+                  const workloads::WorkloadSpec &spec,
+                  const RunnerConfig &config, int64_t size, int inv,
+                  const int64_t *ref_checksum)
+{
+    SlotOutcome out;
+    MetricsRegistry *metrics = config.metrics;
+    TraceEmitter *tr = config.trace;
+    if (metrics)
+        metrics->counter("harness.invocations_attempted").inc();
+    for (int attempt = 0; attempt <= config.maxRetries; ++attempt) {
+        uint64_t seed = attemptSeed(config, inv, attempt);
+        InvocationFailure failure;
+        failure.invocation = inv;
+        failure.attempt = attempt;
+        failure.seed = seed;
+        size_t spanDepth = tr ? tr->openSpans() : 0;
+        if (tr) {
+            Json args = Json::object();
+            args.set("index", inv);
+            args.set("attempt", attempt);
+            tr->beginSpan("invocation", "harness", std::move(args));
+        }
+        try {
+            InvocationResult r = runOneInvocation(
+                prog, spec, config, size, inv, attempt, seed);
+            // Cross-invocation checksum verification against the
+            // first successful invocation. With a single prior
+            // invocation the blame is ambiguous; we presume the
+            // established reference is correct.
+            if (ref_checksum && r.checksum != *ref_checksum) {
+                throw InvocationAbort{
+                    FailureKind::ChecksumMismatch,
+                    strprintf(
+                        "workload %s: checksum differs across "
+                        "invocations (%lld vs %lld)",
+                        spec.name.c_str(),
+                        static_cast<long long>(r.checksum),
+                        static_cast<long long>(*ref_checksum))};
+            }
+            out.result = std::move(r);
+            out.succeeded = true;
+            if (metrics)
+                metrics->counter("harness.invocations").inc();
+            if (tr)
+                tr->endSpan();
+            break;
+        } catch (const vm::VmError &e) {
+            failure.kind = FailureKind::VmError;
+            failure.message = e.what();
+        } catch (const InvocationAbort &a) {
+            failure.kind = a.kind;
+            failure.message = a.message;
+        }
+        if (attempt < config.maxRetries)
+            failure.backoffMs = backoffMs(config, attempt);
+        if (metrics) {
+            metrics->counter("harness.failures").inc();
+            metrics
+                ->counter(strprintf(
+                    "harness.failures.%s",
+                    failureKindName(failure.kind)))
+                .inc();
+            if (attempt < config.maxRetries)
+                metrics->counter("harness.retries").inc();
+        }
+        if (tr) {
+            Json args = Json::object();
+            args.set("kind", failureKindName(failure.kind));
+            args.set("invocation", inv);
+            args.set("attempt", attempt);
+            args.set("message", failure.message);
+            tr->instant("invocation_failure", "harness",
+                        std::move(args));
+            // Close the aborted iteration + invocation spans.
+            tr->endSpansTo(spanDepth);
+            if (attempt < config.maxRetries) {
+                tr->advanceMs(failure.backoffMs);
+                Json rargs = Json::object();
+                rargs.set("invocation", inv);
+                rargs.set("next_attempt", attempt + 1);
+                rargs.set("backoff_ms", failure.backoffMs);
+                tr->instant("retry", "harness", std::move(rargs));
+            }
+        }
+        warnTraced(tr,
+                   "workload %s: invocation %d attempt %d failed "
+                   "(%s): %s",
+                   spec.name.c_str(), inv, attempt,
+                   failureKindName(failure.kind),
+                   failure.message.c_str());
+        out.failures.push_back(std::move(failure));
+    }
+    return out;
+}
+
+/**
+ * Fold one slot's outcome into the run: append failure records and
+ * the result, then apply the consecutive-failure / quarantine
+ * accounting. Always runs on the committing thread, in invocation
+ * order, against the shared sinks.
+ */
+void
+commitSlot(const workloads::WorkloadSpec &spec,
+           const RunnerConfig &config, RunResult &run,
+           SlotOutcome &&out, int inv)
+{
+    MetricsRegistry *metrics = config.metrics;
+    TraceEmitter *tr = config.trace;
+
+    for (auto &f : out.failures)
+        run.failures.push_back(std::move(f));
+    bool succeeded = out.succeeded;
+    if (succeeded)
+        run.invocations.push_back(std::move(out.result));
+    run.invocationsAttempted = inv + 1;
+    if (succeeded) {
+        run.consecutiveFailures = 0;
+    } else if (++run.consecutiveFailures >= config.quarantineAfter &&
+               config.quarantineAfter > 0) {
+        run.quarantined = true;
+        run.quarantineReason = strprintf(
+            "%d consecutive invocations failed all %d attempt(s)",
+            run.consecutiveFailures, config.maxRetries + 1);
+        if (metrics)
+            metrics->counter("harness.quarantines").inc();
+        if (tr) {
+            Json args = Json::object();
+            args.set("workload", spec.name);
+            args.set("reason", run.quarantineReason);
+            tr->instant("quarantine", "harness", std::move(args));
+        }
+        warnTraced(tr, "workload %s quarantined: %s",
+                   spec.name.c_str(), run.quarantineReason.c_str());
+    }
+}
+
+/**
+ * RAII capture of this thread's warn()/inform() output into a
+ * buffer. The committer replays the buffered text through the normal
+ * sink chain in invocation order, so a parallel run's log stream is
+ * identical to a serial run's whatever sink the embedder installed.
+ * (Trace mirroring is not the capture's job — warnTraced() already
+ * placed the instant in the worker's trace buffer.)
+ */
+class ThreadLogCapture
+{
+  public:
+    explicit ThreadLogCapture(
+        std::vector<std::pair<LogLevel, std::string>> *buf)
+    {
+        prev = setThreadLogSink(
+            [buf](LogLevel level, const std::string &msg) {
+                buf->emplace_back(level, msg);
+            });
+    }
+
+    ~ThreadLogCapture() { setThreadLogSink(std::move(prev)); }
+
+    ThreadLogCapture(const ThreadLogCapture &) = delete;
+    ThreadLogCapture &operator=(const ThreadLogCapture &) = delete;
+
+  private:
+    LogSink prev;
+};
+
+/**
+ * Parallel invocation execution: workers run slots speculatively into
+ * per-slot buffers; this (committing) thread folds the buffers into
+ * the shared sinks and the RunResult in invocation order.
+ *
+ * Speculation: a worker cannot know the run's reference checksum (it
+ * is established by the *earliest successful* invocation), so slots
+ * run without cross-invocation verification. The committer performs
+ * the check on the ordered stream; on a mismatch — only possible with
+ * checksum-corrupting faults — it discards the slot's buffers and
+ * re-executes the slot in-line with the true reference, which
+ * reproduces the speculative attempts bit for bit (attempt seeds are
+ * pure functions of the config) before diverging into the retry path
+ * a serial run would have taken.
+ */
+void
+extendParallel(const workloads::WorkloadSpec &spec,
+               const RunnerConfig &config, RunResult &run, int start,
+               int additional, const vm::Program &prog, int64_t size)
+{
+    struct Unit
+    {
+        SlotOutcome outcome;
+        std::unique_ptr<MetricsRegistry> metrics;
+        std::unique_ptr<TraceEmitter> trace;
+        std::vector<std::pair<LogLevel, std::string>> logs;
+        std::exception_ptr error;
+        bool done = false;  ///< guarded by mu
+    };
+
+    const int n = additional;
+    std::vector<Unit> units(static_cast<size_t>(n));
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<int> next{0};
+    std::atomic<bool> cancelled{false};
+
+    auto workerMain = [&]() {
+        // Each worker compiles its own program: compiled constants
+        // hold refcounted Values, and refcounts are not atomic, so a
+        // Program must never be shared across threads.
+        std::unique_ptr<vm::Program> wprog;
+        for (;;) {
+            int u = next.fetch_add(1, std::memory_order_relaxed);
+            if (u >= n || cancelled.load(std::memory_order_relaxed))
+                break;
+            Unit &unit = units[static_cast<size_t>(u)];
+            try {
+                if (!wprog)
+                    wprog = std::make_unique<vm::Program>(
+                        vm::compileSource(spec.source, spec.name));
+                RunnerConfig ucfg = config;
+                if (config.metrics) {
+                    // Buffered: merge() then replays histogram
+                    // observations in order for bit-exact sums.
+                    unit.metrics =
+                        std::make_unique<MetricsRegistry>(true);
+                    ucfg.metrics = unit.metrics.get();
+                }
+                if (config.trace) {
+                    unit.trace =
+                        std::make_unique<TraceEmitter>(true);
+                    ucfg.trace = unit.trace.get();
+                }
+                ThreadLogCapture capture(&unit.logs);
+                unit.outcome = runInvocationSlot(
+                    *wprog, spec, ucfg, size, start + u, nullptr);
+            } catch (...) {
+                unit.error = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                unit.done = true;
+            }
+            cv.notify_all();
+        }
+    };
+
+    int nthreads = std::min(config.jobs, n);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(nthreads));
+    for (int t = 0; t < nthreads; ++t)
+        pool.emplace_back(workerMain);
+    auto joinAll = [&]() {
+        cancelled.store(true, std::memory_order_relaxed);
+        for (auto &t : pool)
+            if (t.joinable())
+                t.join();
+    };
+
+    try {
+        for (int u = 0; u < n; ++u) {
+            Unit &unit = units[static_cast<size_t>(u)];
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                cv.wait(lock, [&] { return unit.done; });
+            }
+            if (unit.error)
+                std::rethrow_exception(unit.error);
+            int inv = start + u;
+            const int64_t *ref = run.invocations.empty()
+                ? nullptr
+                : &run.invocations.front().checksum;
+            if (unit.outcome.succeeded && ref &&
+                unit.outcome.result.checksum != *ref) {
+                SlotOutcome redo = runInvocationSlot(
+                    prog, spec, config, size, inv, ref);
+                commitSlot(spec, config, run, std::move(redo), inv);
+            } else {
+                if (config.trace && unit.trace)
+                    config.trace->append(std::move(*unit.trace));
+                if (config.metrics && unit.metrics)
+                    config.metrics->merge(*unit.metrics);
+                for (const auto &[level, msg] : unit.logs)
+                    emitLogMessage(level, msg);
+                commitSlot(spec, config, run,
+                           std::move(unit.outcome), inv);
+            }
+            if (run.quarantined)
+                break;
+        }
+    } catch (...) {
+        joinAll();
+        throw;
+    }
+    joinAll();
+}
+
 } // namespace
 
 RunResult
@@ -241,125 +591,22 @@ extendExperiment(const workloads::WorkloadSpec &spec,
         : (config.size > 0 ? config.size : spec.defaultSize);
     run.size = size;
 
-    MetricsRegistry *metrics = config.metrics;
-    TraceEmitter *tr = config.trace;
-
     int start = std::max(run.invocationsAttempted,
                          static_cast<int>(run.invocations.size()));
+    if (config.jobs > 1 && additional > 1) {
+        extendParallel(spec, config, run, start, additional, prog,
+                       size);
+        return;
+    }
     for (int inv = start; inv < start + additional; ++inv) {
-        bool succeeded = false;
-        if (metrics)
-            metrics->counter("harness.invocations_attempted").inc();
-        for (int attempt = 0; attempt <= config.maxRetries;
-             ++attempt) {
-            uint64_t seed = attemptSeed(config, inv, attempt);
-            InvocationFailure failure;
-            failure.invocation = inv;
-            failure.attempt = attempt;
-            failure.seed = seed;
-            size_t spanDepth = tr ? tr->openSpans() : 0;
-            if (tr) {
-                Json args = Json::object();
-                args.set("index", inv);
-                args.set("attempt", attempt);
-                tr->beginSpan("invocation", "harness",
-                              std::move(args));
-            }
-            try {
-                InvocationResult r = runOneInvocation(
-                    prog, spec, config, size, inv, attempt, seed);
-                // Cross-invocation checksum verification against the
-                // first successful invocation. With a single prior
-                // invocation the blame is ambiguous; we presume the
-                // established reference is correct.
-                if (!run.invocations.empty() &&
-                    r.checksum != run.invocations.front().checksum) {
-                    throw InvocationAbort{
-                        FailureKind::ChecksumMismatch,
-                        strprintf(
-                            "workload %s: checksum differs across "
-                            "invocations (%lld vs %lld)",
-                            spec.name.c_str(),
-                            static_cast<long long>(r.checksum),
-                            static_cast<long long>(
-                                run.invocations.front().checksum))};
-                }
-                run.invocations.push_back(std::move(r));
-                succeeded = true;
-                if (metrics)
-                    metrics->counter("harness.invocations").inc();
-                if (tr)
-                    tr->endSpan();
-                break;
-            } catch (const vm::VmError &e) {
-                failure.kind = FailureKind::VmError;
-                failure.message = e.what();
-            } catch (const InvocationAbort &a) {
-                failure.kind = a.kind;
-                failure.message = a.message;
-            }
-            if (attempt < config.maxRetries)
-                failure.backoffMs = backoffMs(config, attempt);
-            if (metrics) {
-                metrics->counter("harness.failures").inc();
-                metrics
-                    ->counter(strprintf(
-                        "harness.failures.%s",
-                        failureKindName(failure.kind)))
-                    .inc();
-                if (attempt < config.maxRetries)
-                    metrics->counter("harness.retries").inc();
-            }
-            if (tr) {
-                Json args = Json::object();
-                args.set("kind", failureKindName(failure.kind));
-                args.set("invocation", inv);
-                args.set("attempt", attempt);
-                args.set("message", failure.message);
-                tr->instant("invocation_failure", "harness",
-                            std::move(args));
-                // Close the aborted iteration + invocation spans.
-                tr->endSpansTo(spanDepth);
-                if (attempt < config.maxRetries) {
-                    tr->advanceMs(failure.backoffMs);
-                    Json rargs = Json::object();
-                    rargs.set("invocation", inv);
-                    rargs.set("next_attempt", attempt + 1);
-                    rargs.set("backoff_ms", failure.backoffMs);
-                    tr->instant("retry", "harness",
-                                std::move(rargs));
-                }
-            }
-            warn("workload %s: invocation %d attempt %d failed "
-                 "(%s): %s",
-                 spec.name.c_str(), inv, attempt,
-                 failureKindName(failure.kind),
-                 failure.message.c_str());
-            run.failures.push_back(std::move(failure));
-        }
-        run.invocationsAttempted = inv + 1;
-        if (succeeded) {
-            run.consecutiveFailures = 0;
-        } else if (++run.consecutiveFailures >=
-                       config.quarantineAfter &&
-                   config.quarantineAfter > 0) {
-            run.quarantined = true;
-            run.quarantineReason = strprintf(
-                "%d consecutive invocations failed all %d attempt(s)",
-                run.consecutiveFailures, config.maxRetries + 1);
-            if (metrics)
-                metrics->counter("harness.quarantines").inc();
-            if (tr) {
-                Json args = Json::object();
-                args.set("workload", spec.name);
-                args.set("reason", run.quarantineReason);
-                tr->instant("quarantine", "harness",
-                            std::move(args));
-            }
-            warn("workload %s quarantined: %s", spec.name.c_str(),
-                 run.quarantineReason.c_str());
+        const int64_t *ref = run.invocations.empty()
+            ? nullptr
+            : &run.invocations.front().checksum;
+        SlotOutcome out =
+            runInvocationSlot(prog, spec, config, size, inv, ref);
+        commitSlot(spec, config, run, std::move(out), inv);
+        if (run.quarantined)
             return;
-        }
     }
 }
 

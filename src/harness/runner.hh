@@ -53,6 +53,15 @@ struct RunnerConfig
     /** Modelled clock in cycles per millisecond (3 GHz default). */
     double cyclesPerMs = 3.0e6;
 
+    /**
+     * Worker threads executing invocations (1 = serial). Every
+     * invocation derives an independent seed, so invocations are
+     * sharded across a pool and their results committed in invocation
+     * order; report, metrics, trace and resume artifacts are
+     * byte-identical to a serial run (see docs/METHODOLOGY.md §11).
+     */
+    int jobs = 1;
+
     // --- fault tolerance ---------------------------------------------
 
     /** Retries per invocation after a failed attempt (0 = fail fast). */
@@ -96,6 +105,14 @@ struct RunnerConfig
 
 /**
  * Run the full experiment design for one workload.
+ *
+ * Parallelism: with config.jobs > 1 the (independent-seeded)
+ * invocations are executed by a worker pool. Workers run invocation
+ * slots speculatively into per-worker metric/trace/log buffers; a
+ * single committer folds the buffers into the shared sinks in
+ * invocation order, so retry, checksum-verification and quarantine
+ * decisions are made on the ordered result stream and every artifact
+ * is byte-identical to jobs == 1.
  *
  * Failure handling: a VmError, a checksum divergence (between
  * iterations or across invocations) or a blown deadline no longer

@@ -1,9 +1,11 @@
 #include "support/json.hh"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <system_error>
 
 #include "support/logging.hh"
 
@@ -390,14 +392,30 @@ class Parser
         }
         if (pos == start)
             fail("expected number");
-        std::string num = s.substr(start, pos - start);
-        if (isDouble)
-            return Json(std::stod(num));
-        try {
-            return Json(static_cast<int64_t>(std::stoll(num)));
-        } catch (const std::out_of_range &) {
-            return Json(std::stod(num));
+        // std::from_chars, not std::stod/stoll: from_chars is
+        // locale-independent (std::stod honors LC_NUMERIC, so under a
+        // comma-decimal locale "1.5" silently truncated to 1) and
+        // reports range errors as error codes instead of exceptions
+        // (std::stod threw an uncaught std::out_of_range on "1e999").
+        const char *first = s.data() + start;
+        const char *last = s.data() + pos;
+        if (!isDouble) {
+            int64_t iv = 0;
+            auto [p, ec] = std::from_chars(first, last, iv);
+            if (ec == std::errc() && p == last)
+                return Json(iv);
+            if (ec != std::errc::result_out_of_range && p != last)
+                fail("malformed number");
+            // Out-of-int64-range integer literal: fall through and
+            // keep it as a double, matching the previous behavior.
         }
+        double dv = 0.0;
+        auto [p, ec] = std::from_chars(first, last, dv);
+        if (p != last || ec == std::errc::invalid_argument)
+            fail("malformed number");
+        if (ec == std::errc::result_out_of_range)
+            fail("number out of range");
+        return Json(dv);
     }
 
     Json

@@ -9,6 +9,7 @@ namespace {
 
 bool quietFlag = false;
 LogSink sinkFn;
+thread_local LogSink threadSinkFn;
 
 /** Deliver one formatted message to the installed or default sink. */
 void
@@ -16,7 +17,9 @@ emitLog(LogLevel level, const std::string &msg)
 {
     if (quietFlag)
         return;
-    if (sinkFn)
+    if (threadSinkFn)
+        threadSinkFn(level, msg);
+    else if (sinkFn)
         sinkFn(level, msg);
     else
         std::fprintf(stderr, "%s: %s\n", logLevelName(level),
@@ -31,6 +34,12 @@ setQuiet(bool quiet)
     quietFlag = quiet;
 }
 
+bool
+quietEnabled()
+{
+    return quietFlag;
+}
+
 const char *
 logLevelName(LogLevel level)
 {
@@ -43,6 +52,20 @@ setLogSink(LogSink sink)
     LogSink prev = std::move(sinkFn);
     sinkFn = std::move(sink);
     return prev;
+}
+
+LogSink
+setThreadLogSink(LogSink sink)
+{
+    LogSink prev = std::move(threadSinkFn);
+    threadSinkFn = std::move(sink);
+    return prev;
+}
+
+void
+emitLogMessage(LogLevel level, const std::string &msg)
+{
+    emitLog(level, msg);
 }
 
 std::string

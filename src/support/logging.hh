@@ -70,6 +70,9 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Globally silence warn()/inform() (used by tests and benches). */
 void setQuiet(bool quiet);
 
+/** Whether setQuiet(true) is in effect. */
+bool quietEnabled();
+
 /** Severity of a status message routed through the log sink. */
 enum class LogLevel
 {
@@ -97,6 +100,24 @@ using LogSink = std::function<void(LogLevel level,
  *         default), so callers can chain or restore it.
  */
 LogSink setLogSink(LogSink sink);
+
+/**
+ * Install a *thread-local* sink that takes precedence over the
+ * process-global one on this thread. The parallel harness gives each
+ * worker a capture sink so messages from concurrent invocations can
+ * be buffered and replayed in deterministic order instead of
+ * interleaving racily. Passing an empty function removes the
+ * override. setQuiet() still applies first.
+ * @return the previously installed thread-local sink.
+ */
+LogSink setThreadLogSink(LogSink sink);
+
+/**
+ * Deliver an already-formatted message through the normal sink chain
+ * (thread-local sink, then global sink, then stderr), respecting
+ * setQuiet(). Used to replay buffered worker messages at commit time.
+ */
+void emitLogMessage(LogLevel level, const std::string &msg);
 
 } // namespace rigor
 

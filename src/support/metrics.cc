@@ -6,8 +6,8 @@
 
 namespace rigor {
 
-Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds))
+Histogram::Histogram(std::vector<double> upper_bounds, bool buffered)
+    : bounds_(std::move(upper_bounds)), buffered_(buffered)
 {
     if (bounds_.empty())
         panic("Histogram: at least one bucket bound required");
@@ -23,14 +23,75 @@ void
 Histogram::observe(double v)
 {
     auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    std::lock_guard<std::mutex> lock(mu);
     ++counts[static_cast<size_t>(it - bounds_.begin())];
     ++count_;
     sum_ += v;
+    if (buffered_)
+        log_.push_back(v);
+}
+
+uint64_t
+Histogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return count_;
+}
+
+double
+Histogram::sum() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return sum_;
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counts;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.bounds_ != bounds_)
+        panic("Histogram::merge: bucket bounds differ");
+    if (other.buffered_) {
+        // Replay the source's observations one by one: summing in
+        // the original observation order reproduces the exact
+        // floating-point value a serial sequence of observe() calls
+        // produces (addition is not associative, so adding the
+        // source's partial sum in one step would not).
+        std::vector<double> log;
+        {
+            std::lock_guard<std::mutex> lock(other.mu);
+            log = other.log_;
+        }
+        for (double v : log)
+            observe(v);
+        return;
+    }
+    uint64_t other_count;
+    double other_sum;
+    std::vector<uint64_t> other_counts;
+    {
+        std::lock_guard<std::mutex> lock(other.mu);
+        other_count = other.count_;
+        other_sum = other.sum_;
+        other_counts = other.counts;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other_counts[i];
+    count_ += other_count;
+    sum_ += other_sum;
 }
 
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mu);
     auto it = counters.find(name);
     if (it != counters.end())
         return *it->second;
@@ -44,6 +105,7 @@ MetricsRegistry::counter(const std::string &name)
 Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mu);
     auto it = gauges.find(name);
     if (it != gauges.end())
         return *it->second;
@@ -58,6 +120,7 @@ Histogram &
 MetricsRegistry::histogram(const std::string &name,
                            std::vector<double> upper_bounds)
 {
+    std::lock_guard<std::mutex> lock(mu);
     auto it = histograms.find(name);
     if (it != histograms.end())
         return *it->second;
@@ -65,21 +128,39 @@ MetricsRegistry::histogram(const std::string &name,
         panic("metric '%s' already registered with another kind",
               name.c_str());
     return *histograms
-                .emplace(name, std::make_unique<Histogram>(
-                                   std::move(upper_bounds)))
+                .emplace(name,
+                         std::make_unique<Histogram>(
+                             std::move(upper_bounds), buffered_))
                 .first->second;
 }
 
 uint64_t
 MetricsRegistry::counterValue(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu);
     auto it = counters.find(name);
     return it == counters.end() ? 0 : it->second->value();
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    // Lock ordering: `other` belongs to a finished worker with no
+    // concurrent writers, but take its lock anyway for safety; the
+    // committer is the only caller, so there is no lock-order cycle.
+    std::lock_guard<std::mutex> other_lock(other.mu);
+    for (const auto &[name, c] : other.counters)
+        counter(name).inc(c->value());
+    for (const auto &[name, g] : other.gauges)
+        gauge(name).set(g->value());
+    for (const auto &[name, h] : other.histograms)
+        histogram(name, h->bounds()).merge(*h);
 }
 
 Json
 MetricsRegistry::toJson() const
 {
+    std::lock_guard<std::mutex> lock(mu);
     Json root = Json::object();
     Json cs = Json::object();
     for (const auto &[name, c] : counters)
@@ -98,7 +179,7 @@ MetricsRegistry::toJson() const
         j.set("sum", h->sum());
         Json buckets = Json::array();
         const auto &bounds = h->bounds();
-        const auto &counts = h->bucketCounts();
+        const auto counts = h->bucketCounts();
         for (size_t i = 0; i < counts.size(); ++i) {
             Json b = Json::object();
             if (i < bounds.size())

@@ -4,19 +4,29 @@
  * histograms with near-zero-cost updates and JSON snapshot export.
  *
  * Instrumented code looks its metric up once (a map lookup) and holds
- * a reference; the hot-path update is then a single add on a plain
+ * a reference; the hot-path update is then a single add on an atomic
  * integer. The registry owns every metric, keeps registration order
  * deterministic (std::map), and serializes to a stable JSON schema so
  * two identical runs produce byte-identical snapshots
  * (see docs/OBSERVABILITY.md for the schema).
+ *
+ * Thread safety: metric updates are atomic (counters, gauges) or
+ * mutex-guarded (histograms), and registry lookups are guarded, so
+ * concurrent workers may share one registry. Counter and histogram
+ * updates commute, which means a shared snapshot is deterministic
+ * regardless of interleaving; for full byte-identity including gauges
+ * the parallel harness instead gives each worker a private registry
+ * and merge()s them in canonical order.
  */
 
 #ifndef RIGOR_SUPPORT_METRICS_HH
 #define RIGOR_SUPPORT_METRICS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,24 +39,33 @@ class Counter
 {
   public:
     /** Add `n` to the counter. */
-    void inc(uint64_t n = 1) { val += n; }
+    void inc(uint64_t n = 1)
+    {
+        val.fetch_add(n, std::memory_order_relaxed);
+    }
 
-    uint64_t value() const { return val; }
+    uint64_t value() const
+    {
+        return val.load(std::memory_order_relaxed);
+    }
 
   private:
-    uint64_t val = 0;
+    std::atomic<uint64_t> val{0};
 };
 
 /** Last-write-wins scalar (e.g. a high-water mark or a config knob). */
 class Gauge
 {
   public:
-    void set(double v) { val = v; }
+    void set(double v) { val.store(v, std::memory_order_relaxed); }
 
-    double value() const { return val; }
+    double value() const
+    {
+        return val.load(std::memory_order_relaxed);
+    }
 
   private:
-    double val = 0.0;
+    std::atomic<double> val{0.0};
 };
 
 /**
@@ -56,21 +75,42 @@ class Gauge
 class Histogram
 {
   public:
-    /** @param upper_bounds strictly increasing bucket upper bounds. */
-    explicit Histogram(std::vector<double> upper_bounds);
+    /**
+     * @param upper_bounds strictly increasing bucket upper bounds.
+     * @param buffered record every observation so merge() can replay
+     * them one by one (used by per-worker registries; see below).
+     */
+    explicit Histogram(std::vector<double> upper_bounds,
+                       bool buffered = false);
 
     /** Record one observation. */
     void observe(double v);
 
-    uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
+    uint64_t count() const;
+    double sum() const;
+    /** Bucket bounds (immutable after construction; lock-free). */
     const std::vector<double> &bounds() const { return bounds_; }
     /** Per-bucket counts; back() is the +inf overflow bucket. */
-    const std::vector<uint64_t> &bucketCounts() const { return counts; }
+    std::vector<uint64_t> bucketCounts() const;
+
+    /**
+     * Fold another histogram's observations into this one. The bucket
+     * bounds must match exactly (it is a bug if they do not). When
+     * `other` is buffered its observations are replayed one by one,
+     * so `sum` accumulates in the same floating-point order a direct
+     * sequence of observe() calls would have used — this is what
+     * keeps merged snapshots bit-identical to serial ones. A
+     * non-buffered source merges additively instead (counts exact,
+     * sum correct up to FP reassociation).
+     */
+    void merge(const Histogram &other);
 
   private:
     std::vector<double> bounds_;
+    const bool buffered_;
+    mutable std::mutex mu;
     std::vector<uint64_t> counts;  ///< bounds_.size() + 1 entries
+    std::vector<double> log_;      ///< observations (buffered only)
     uint64_t count_ = 0;
     double sum_ = 0.0;
 };
@@ -84,6 +124,16 @@ class Histogram
 class MetricsRegistry
 {
   public:
+    /**
+     * @param buffered create buffered histograms (see Histogram) so
+     * merge()ing this registry into another replays observations in
+     * their original order. The parallel harness gives each worker a
+     * buffered registry.
+     */
+    explicit MetricsRegistry(bool buffered = false)
+        : buffered_(buffered)
+    {}
+
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
     /**
@@ -95,6 +145,15 @@ class MetricsRegistry
 
     /** Counter value, or 0 if never registered (for tests/reports). */
     uint64_t counterValue(const std::string &name) const;
+
+    /**
+     * Fold another registry into this one: counter values and
+     * histogram observations add; gauges are last-write-wins (the
+     * merged-in value overwrites). Because std::map keeps name order
+     * canonical, merging per-worker registries in a fixed order
+     * reproduces a serial run's snapshot byte for byte.
+     */
+    void merge(const MetricsRegistry &other);
 
     /**
      * Snapshot every metric:
@@ -115,6 +174,8 @@ class MetricsRegistry
                                                   int count);
 
   private:
+    const bool buffered_ = false;
+    mutable std::mutex mu;  ///< guards the three maps
     std::map<std::string, std::unique_ptr<Counter>> counters;
     std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<Histogram>> histograms;

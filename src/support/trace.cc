@@ -8,6 +8,22 @@ void
 TraceEmitter::advanceMs(double ms)
 {
     clockMs += ms;
+    if (buffered_) {
+        TraceOp op;
+        op.advanceMs = ms;
+        ops.push_back(op);
+    }
+}
+
+void
+TraceEmitter::pushEvent(Json e)
+{
+    if (buffered_) {
+        TraceOp op;
+        op.eventIndex = static_cast<int>(events.size());
+        ops.push_back(op);
+    }
+    events.push_back(std::move(e));
 }
 
 Json
@@ -31,7 +47,7 @@ TraceEmitter::beginSpan(const std::string &name,
     Json e = makeEvent("B", name, cat);
     if (!args.isNull())
         e.set("args", std::move(args));
-    events.push_back(std::move(e));
+    pushEvent(std::move(e));
     openNames.push_back(name);
 }
 
@@ -45,7 +61,7 @@ TraceEmitter::endSpan(Json args)
     Json e = makeEvent("E", openNames.back(), "");
     if (!args.isNull())
         e.set("args", std::move(args));
-    events.push_back(std::move(e));
+    pushEvent(std::move(e));
     openNames.pop_back();
 }
 
@@ -57,7 +73,38 @@ TraceEmitter::instant(const std::string &name, const std::string &cat,
     e.set("s", "t");  // thread-scoped instant
     if (!args.isNull())
         e.set("args", std::move(args));
-    events.push_back(std::move(e));
+    pushEvent(std::move(e));
+}
+
+void
+TraceEmitter::logInstant(const std::string &level,
+                         const std::string &msg)
+{
+    Json args = Json::object();
+    args.set("message", msg);
+    instant(level, "log", std::move(args));
+}
+
+void
+TraceEmitter::append(TraceEmitter &&sub)
+{
+    if (!sub.buffered_)
+        panic("TraceEmitter::append: source emitter is not buffered");
+    if (!sub.openNames.empty())
+        panic("TraceEmitter::append: source has %zu open span(s)",
+              sub.openNames.size());
+    for (const TraceOp &op : sub.ops) {
+        if (op.eventIndex < 0) {
+            advanceMs(op.advanceMs);
+        } else {
+            Json &e = sub.events[static_cast<size_t>(op.eventIndex)];
+            e.set("ts", nowUs());
+            pushEvent(std::move(e));
+        }
+    }
+    sub.events.clear();
+    sub.ops.clear();
+    sub.clockMs = 0.0;
 }
 
 void

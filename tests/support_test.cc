@@ -4,6 +4,8 @@
  * JSON round-trips, CSV quoting, string utilities, tables, logging.
  */
 
+#include <clocale>
+#include <cstdint>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -167,6 +169,62 @@ TEST(Json, ParseErrors)
     EXPECT_THROW(Json::parse("tru"), FatalError);
     EXPECT_THROW(Json::parse("\"unterminated"), FatalError);
     EXPECT_THROW(Json::parse("{\"a\":1} extra"), FatalError);
+}
+
+// Regression: number parsing used std::stod, which honors LC_NUMERIC.
+// Under a comma-decimal locale (de_DE, fr_FR, ...) "1.5" stopped at
+// the '.' and silently parsed as 1.0. std::from_chars is
+// locale-independent, so parsing must now agree byte for byte with
+// the "C" locale whatever the process locale is.
+TEST(Json, NumberParsingIsLocaleIndependent)
+{
+    const char *candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                                "fr_FR.UTF-8", "fr_FR.utf8", "fr_FR"};
+    const char *applied = nullptr;
+    for (const char *name : candidates)
+        if (std::setlocale(LC_ALL, name)) {
+            applied = name;
+            break;
+        }
+    if (!applied)
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    // Paranoia: only proceed if the locale really uses ','.
+    if (std::localeconv()->decimal_point[0] != ',') {
+        std::setlocale(LC_ALL, "C");
+        GTEST_SKIP() << applied << " does not use ',' decimals";
+    }
+    Json parsed = Json::parse("[1.5, -0.25, 6.02e23]");
+    std::setlocale(LC_ALL, "C");
+    EXPECT_DOUBLE_EQ(parsed.at(0).asDouble(), 1.5);
+    EXPECT_DOUBLE_EQ(parsed.at(1).asDouble(), -0.25);
+    EXPECT_DOUBLE_EQ(parsed.at(2).asDouble(), 6.02e23);
+}
+
+// Regression: std::stod threw std::out_of_range on "1e999", which
+// escaped the parser as an unrelated exception type. Range errors
+// must surface as ordinary parse failures.
+TEST(Json, OutOfRangeNumbersAreParseErrors)
+{
+    EXPECT_THROW(Json::parse("1e999"), FatalError);
+    EXPECT_THROW(Json::parse("-1e999"), FatalError);
+    EXPECT_THROW(Json::parse("{\"x\": [1, 2, 1e999]}"), FatalError);
+    // Near-the-edge values still parse.
+    EXPECT_DOUBLE_EQ(Json::parse("1e308").asDouble(), 1e308);
+}
+
+TEST(Json, HugeIntegerLiteralFallsBackToDouble)
+{
+    // Larger than int64: kept as a double, as before.
+    Json v = Json::parse("99999999999999999999");
+    EXPECT_EQ(v.type(), Json::Type::Double);
+    EXPECT_DOUBLE_EQ(v.asDouble(), 1e20);
+    Json n = Json::parse("-99999999999999999999");
+    EXPECT_DOUBLE_EQ(n.asDouble(), -1e20);
+    // Full int64 range stays integral.
+    EXPECT_EQ(Json::parse("9223372036854775807").asInt(),
+              INT64_MAX);
+    EXPECT_EQ(Json::parse("-9223372036854775808").asInt(),
+              INT64_MIN);
 }
 
 TEST(Json, TypeErrorsPanic)

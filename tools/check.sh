@@ -18,4 +18,17 @@ cmake -B build-asan -S . -DRIGOR_SANITIZE=ON \
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
+echo "== parallel determinism (--jobs 4 vs --jobs 1) =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+for n in 1 4; do
+    ./build/tools/rigorbench run nbody --invocations 6 --iterations 5 \
+        --jobs "$n" --inject checksum:inv=2:n=1 \
+        --json "$tmp/j$n.json" --metrics "$tmp/m$n.json" \
+        --trace "$tmp/t$n.json" --quiet >/dev/null 2>&1
+done
+cmp "$tmp/j1.json" "$tmp/j4.json"
+cmp "$tmp/m1.json" "$tmp/m4.json"
+cmp "$tmp/t1.json" "$tmp/t4.json"
+
 echo "all checks passed"

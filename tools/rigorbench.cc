@@ -18,6 +18,8 @@
  *   --iterations N           (default 20)
  *   --size N                 (default: workload's defaultSize)
  *   --seed S                 (default 0xc0ffee)
+ *   --jobs N                 (default 1) worker threads; artifacts
+ *                            are byte-identical for every N
  *   --jit-threshold N        (default kDefaultJitThreshold)
  *   --target PCT             (sequential only; default 2)
  *   --json FILE              dump the raw run as JSON
@@ -41,6 +43,7 @@
  *                            workload and skip completed ones
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,6 +79,7 @@ struct Options
     bool tierSet = false;
     int invocations = 8;
     int iterations = 20;
+    int jobs = 1;
     int64_t size = 0;
     uint64_t seed = 0xc0ffee;
     int jitThreshold = harness::kDefaultJitThreshold;
@@ -105,7 +109,7 @@ printUsage(std::FILE *out)
         "usage: rigorbench <list|env|disasm|run|compare|"
         "sequential|profile|suite|help> [workload] [options]\n"
         "options: --tier interp|adaptive --invocations N "
-        "--iterations N --size N\n"
+        "--iterations N --size N --jobs N\n"
         "         --seed S --jit-threshold N --target PCT "
         "--json FILE --csv FILE --no-noise\n"
         "         --inject SPEC --max-retries N --deadline-ms X "
@@ -120,14 +124,22 @@ usage()
     std::exit(2);
 }
 
-/** Strict integer parsing: rejects garbage instead of yielding 0. */
+/**
+ * Strict integer parsing: rejects garbage instead of yielding 0 and
+ * overflow instead of silently clamping to LLONG_MAX (strtoll sets
+ * errno=ERANGE but still returns a "valid-looking" value, so e.g.
+ * --invocations 99999999999999999999 used to be accepted).
+ */
 int64_t
 parseInt(const char *flag, const char *text, int64_t min_value)
 {
     char *end = nullptr;
+    errno = 0;
     long long v = std::strtoll(text, &end, 10);
     if (end == text || *end != '\0')
         fatal("%s expects an integer, got '%s'", flag, text);
+    if (errno == ERANGE)
+        fatal("%s out of range: '%s'", flag, text);
     if (v < min_value)
         fatal("%s must be >= %lld, got %lld", flag,
               static_cast<long long>(min_value), v);
@@ -138,11 +150,28 @@ double
 parseDouble(const char *flag, const char *text, double min_value)
 {
     char *end = nullptr;
+    errno = 0;
     double v = std::strtod(text, &end);
     if (end == text || *end != '\0')
         fatal("%s expects a number, got '%s'", flag, text);
+    if (errno == ERANGE)
+        fatal("%s out of range: '%s'", flag, text);
     if (v < min_value)
         fatal("%s must be >= %g, got %g", flag, min_value, v);
+    return v;
+}
+
+/** Strict seed parsing (decimal, hex or octal; full uint64 range). */
+uint64_t
+parseSeed(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    errno = 0;
+    uint64_t v = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0')
+        fatal("%s expects an integer, got '%s'", flag, text);
+    if (errno == ERANGE)
+        fatal("%s out of range: '%s'", flag, text);
     return v;
 }
 
@@ -189,7 +218,10 @@ parseArgs(int argc, char **argv)
         } else if (a == "--size") {
             opt.size = parseInt("--size", next(), 1);
         } else if (a == "--seed") {
-            opt.seed = std::strtoull(next(), nullptr, 0);
+            opt.seed = parseSeed("--seed", next());
+        } else if (a == "--jobs") {
+            opt.jobs =
+                static_cast<int>(parseInt("--jobs", next(), 1));
         } else if (a == "--jit-threshold") {
             opt.jitThreshold = static_cast<int>(
                 parseInt("--jit-threshold", next(), 1));
@@ -234,6 +266,7 @@ makeConfig(const Options &opt, vm::Tier tier,
     cfg.tier = tier;
     cfg.size = opt.size;
     cfg.seed = opt.seed;
+    cfg.jobs = opt.jobs;
     cfg.jitThreshold = opt.jitThreshold;
     cfg.noise.enabled = !opt.noNoise;
     cfg.maxRetries = opt.maxRetries;
@@ -412,6 +445,31 @@ cmdSequential(const Options &opt,
     return 0;
 }
 
+/**
+ * inform()/warn() plus a mirror of the message into the trace as a
+ * "log" instant, so suite progress lands next to the spans it
+ * narrates. The runner mirrors its own messages the same way
+ * (caller-owned mirroring keeps serial and parallel traces
+ * byte-identical; a sink cannot, because parallel workers buffer
+ * their messages and replay them later).
+ */
+__attribute__((format(printf, 3, 4))) void
+logTraced(const Options &opt, LogLevel level, const char *fmt, ...)
+{
+    if (opt.quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    if (opt.trace)
+        opt.trace->logInstant(logLevelName(level), msg);
+    if (level == LogLevel::Warn)
+        warn("%s", msg.c_str());
+    else
+        inform("%s", msg.c_str());
+}
+
 void
 writeSuiteState(const std::string &path,
                 const harness::SuiteState &state)
@@ -471,7 +529,8 @@ runSuiteWorkload(const workloads::WorkloadSpec &w, const Options &opt,
         ws.adaptiveMs = harness::rigorousEstimate(jit).ci.estimate;
         ws.speedup = harness::rigorousSpeedup(interp, jit);
     } catch (const std::exception &e) {
-        warn("workload %s failed: %s", w.name.c_str(), e.what());
+        logTraced(opt, LogLevel::Warn, "workload %s failed: %s",
+                  w.name.c_str(), e.what());
         ws.failed = true;
     }
     return ws;
@@ -491,8 +550,10 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
         if (probe.good()) {
             state = loadSuiteState(opt.resumePath, opt);
             resuming = true;
-            inform("resuming from %s: %zu workload(s) already done",
-                   opt.resumePath.c_str(), state.workloads.size());
+            logTraced(opt, LogLevel::Info,
+                      "resuming from %s: %zu workload(s) already "
+                      "done",
+                      opt.resumePath.c_str(), state.workloads.size());
         }
     }
 
@@ -518,13 +579,14 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
         const auto &ws = state.workloads.back();
         modelledMsTotal += ws.modelledMs;
         failuresTotal += ws.failureCount;
-        inform("suite [%zu/%zu] %s: %s; %.1f ms modelled, "
-               "%d failure(s) so far",
-               done, total, w.name.c_str(),
-               ws.quarantined ? "quarantined"
-                   : ws.failed ? "failed"
-                               : "ok",
-               modelledMsTotal, failuresTotal);
+        logTraced(opt, LogLevel::Info,
+                  "suite [%zu/%zu] %s: %s; %.1f ms modelled, "
+                  "%d failure(s) so far",
+                  done, total, w.name.c_str(),
+                  ws.quarantined ? "quarantined"
+                      : ws.failed ? "failed"
+                                  : "ok",
+                  modelledMsTotal, failuresTotal);
         if (opt.metrics) {
             opt.metrics->gauge("suite.workloads_done")
                 .set(static_cast<double>(done));
@@ -653,20 +715,8 @@ main(int argc, char **argv)
         TraceEmitter trace;
         if (!opt.metricsPath.empty())
             opt.metrics = &metrics;
-        if (!opt.tracePath.empty()) {
+        if (!opt.tracePath.empty())
             opt.trace = &trace;
-            // Mirror status messages into the trace so warnings land
-            // next to the spans that caused them.
-            setLogSink([&trace](LogLevel level,
-                                const std::string &msg) {
-                std::fprintf(stderr, "%s: %s\n", logLevelName(level),
-                             msg.c_str());
-                Json args = Json::object();
-                args.set("message", msg);
-                trace.instant(logLevelName(level), "log",
-                              std::move(args));
-            });
-        }
 
         int rc = dispatch(opt, faults);
         writeObservability(opt);
