@@ -102,6 +102,13 @@ struct RunResult
     /** True once the quarantine threshold tripped; no more attempts. */
     bool quarantined = false;
     std::string quarantineReason;
+    /**
+     * True when the run stopped early at a commit boundary because an
+     * interrupt (SIGINT/SIGTERM) was requested. Not serialized:
+     * a checkpointed run is incomplete iff
+     * invocationsAttempted < the configured invocation count.
+     */
+    bool interrupted = false;
 
     /** series()[i][j]: iteration j of invocation i, in ms. */
     std::vector<std::vector<double>> series() const;

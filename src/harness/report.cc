@@ -164,6 +164,11 @@ runToJson(const RunResult &run)
     if (run.invocationsAttempted >
         static_cast<int>(run.invocations.size()))
         root.set("invocations_attempted", run.invocationsAttempted);
+    // The consecutive-failure streak feeds quarantine accounting when
+    // a checkpointed run is extended; omitted when zero so clean dumps
+    // stay byte-identical to older archives.
+    if (run.consecutiveFailures > 0)
+        root.set("consecutive_failures", run.consecutiveFailures);
     if (run.quarantined) {
         root.set("quarantined", true);
         root.set("quarantine_reason", run.quarantineReason);
@@ -246,6 +251,8 @@ runFromJson(const Json &doc)
     if (const Json *attempted = doc.get("invocations_attempted"))
         run.invocationsAttempted =
             static_cast<int>(attempted->asInt());
+    if (const Json *cf = doc.get("consecutive_failures"))
+        run.consecutiveFailures = static_cast<int>(cf->asInt());
     if (const Json *q = doc.get("quarantined"))
         run.quarantined = q->asBool();
     if (const Json *r = doc.get("quarantine_reason"))

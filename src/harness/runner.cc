@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/fault.hh"
+#include "support/interrupt.hh"
 #include "support/logging.hh"
 #include "vm/compiler.hh"
 #include "vm/metrics_observer.hh"
@@ -390,6 +391,32 @@ commitSlot(const workloads::WorkloadSpec &spec,
 }
 
 /**
+ * Commit-boundary bookkeeping shared by the serial loop and the
+ * parallel committer: fire the periodic checkpoint callback at the
+ * configured cadence and poll the interrupt flag. An interrupt fires
+ * the callback too, regardless of cadence, so the final checkpoint
+ * always reflects the last committed slot — and it fires *before* the
+ * caller returns and runExperiment closes the workload trace span,
+ * because the checkpoint must capture the span as still open for the
+ * resume to continue it.
+ *
+ * @return true when the run should stop (interrupt requested).
+ */
+bool
+afterCommit(const RunnerConfig &config, RunResult &run)
+{
+    bool stop = interruptRequested();
+    if (config.onCheckpoint &&
+        (stop ||
+         (config.checkpointEvery > 0 &&
+          run.invocationsAttempted % config.checkpointEvery == 0)))
+        config.onCheckpoint(run);
+    if (stop)
+        run.interrupted = true;
+    return stop;
+}
+
+/**
  * RAII capture of this thread's warn()/inform() output into a
  * buffer. The committer replays the buffered text through the normal
  * sink chain in invocation order, so a parallel run's log stream is
@@ -536,7 +563,7 @@ extendParallel(const workloads::WorkloadSpec &spec,
                 commitSlot(spec, config, run,
                            std::move(unit.outcome), inv);
             }
-            if (run.quarantined)
+            if (afterCommit(config, run) || run.quarantined)
                 break;
         }
     } catch (...) {
@@ -605,9 +632,31 @@ extendExperiment(const workloads::WorkloadSpec &spec,
         SlotOutcome out =
             runInvocationSlot(prog, spec, config, size, inv, ref);
         commitSlot(spec, config, run, std::move(out), inv);
-        if (run.quarantined)
+        if (afterCommit(config, run) || run.quarantined)
             return;
     }
+}
+
+void
+resumeExperiment(const workloads::WorkloadSpec &spec,
+                 const RunnerConfig &config, RunResult &run)
+{
+    TraceEmitter *tr = config.trace;
+    // The restored checkpoint holds the workload span open (it was
+    // open when the checkpoint was taken); close down to just outside
+    // it on exit, mirroring runExperiment.
+    size_t depth = tr && tr->openSpans() > 0 ? tr->openSpans() - 1 : 0;
+    int additional = config.invocations - run.invocationsAttempted;
+    try {
+        if (additional > 0)
+            extendExperiment(spec, config, run, additional);
+    } catch (...) {
+        if (tr)
+            tr->endSpansTo(depth);
+        throw;
+    }
+    if (tr)
+        tr->endSpansTo(depth);
 }
 
 RunResult

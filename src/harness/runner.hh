@@ -8,6 +8,7 @@
 #ifndef RIGOR_HARNESS_RUNNER_HH
 #define RIGOR_HARNESS_RUNNER_HH
 
+#include <functional>
 #include <string>
 
 #include "harness/measurement.hh"
@@ -101,6 +102,27 @@ struct RunnerConfig
      * all timestamped with the modelled clock.
      */
     TraceEmitter *trace = nullptr;
+
+    // --- durability --------------------------------------------------
+
+    /**
+     * Fire onCheckpoint every this many committed invocation slots
+     * (0 disables periodic checkpoints). Checkpoints happen at commit
+     * boundaries on both the serial and the parallel committer path,
+     * so the captured state is exactly what a fresh run would have
+     * after that many invocations — which is why the final artifacts
+     * are invariant under checkpoint cadence.
+     */
+    int checkpointEvery = 0;
+    /**
+     * Called with the partial run at each checkpoint boundary and,
+     * regardless of cadence, when an interrupt stops the run (so the
+     * last checkpoint always reflects the final committed slot). The
+     * callback runs on the committing thread while the shared
+     * metrics/trace sinks are quiescent; snapshotting them inside the
+     * callback is race-free.
+     */
+    std::function<void(const RunResult &)> onCheckpoint;
 };
 
 /**
@@ -139,6 +161,21 @@ RunResult runExperiment(const std::string &workload_name,
 void extendExperiment(const workloads::WorkloadSpec &spec,
                       const RunnerConfig &config, RunResult &run,
                       int additional);
+
+/**
+ * Continue an incomplete (checkpointed, then restored) run up to
+ * config.invocations total attempted slots. Invocation seeds are pure
+ * functions of (config.seed, slot index, attempt), so the continuation
+ * reproduces exactly what an uninterrupted run would have done.
+ *
+ * Precondition: `run` is incomplete (not quarantined and
+ * invocationsAttempted < config.invocations) and, when config.trace is
+ * set, the emitter holds the restored checkpoint with the workload
+ * span still open; the span is closed on return like runExperiment
+ * does.
+ */
+void resumeExperiment(const workloads::WorkloadSpec &spec,
+                      const RunnerConfig &config, RunResult &run);
 
 } // namespace harness
 } // namespace rigor

@@ -30,7 +30,7 @@ runSequential(const workloads::WorkloadSpec &spec,
         // A quarantined workload cannot be extended further; return
         // whatever partial evidence was gathered (the caller sees
         // converged == false plus the run's failure records).
-        if (out.run.quarantined) {
+        if (out.run.quarantined || out.run.interrupted) {
             if (out.invocationsUsed >= 2)
                 out.estimate =
                     rigorousEstimate(out.run, seq.confidence);

@@ -1,0 +1,261 @@
+#include "support/durable_io.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace rigor {
+
+namespace {
+
+/** Lazily-built CRC-32 lookup table (reflected 0xEDB88320). */
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len)
+{
+    const auto &table = crcTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t c = 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t
+crc32(const std::string &s)
+{
+    return crc32(s.data(), s.size());
+}
+
+namespace {
+
+/** fsync the directory containing `path` so a rename is durable.
+ *  Best-effort: some filesystems refuse directory fsync; the file
+ *  data itself was already fsync'd, so failure here only widens the
+ *  power-loss window, it cannot corrupt state. */
+void
+fsyncParentDir(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0)
+        return;
+    (void)::fsync(fd);
+    (void)::close(fd);
+}
+
+[[noreturn]] void
+writeFailed(const std::string &tmp, const char *step, int err,
+            int fd)
+{
+    if (fd >= 0)
+        (void)::close(fd);
+    (void)::unlink(tmp.c_str());
+    fatal("atomic write failed: path=%s step=%s error=%s",
+          tmp.c_str(), step, std::strerror(err));
+}
+
+} // namespace
+
+void
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("atomic write failed: path=%s step=open error=%s",
+              tmp.c_str(), std::strerror(errno));
+    size_t off = 0;
+    while (off < content.size()) {
+        ssize_t n =
+            ::write(fd, content.data() + off, content.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            writeFailed(tmp, "write", errno, fd);
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0)
+        writeFailed(tmp, "fsync", errno, fd);
+    if (::close(fd) != 0)
+        writeFailed(tmp, "close", errno, -1);
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        writeFailed(tmp, "rename", errno, -1);
+    fsyncParentDir(path);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (is.bad())
+        return false;
+    out = buf.str();
+    return true;
+}
+
+std::string
+stateBackupPath(const std::string &path)
+{
+    return path + ".bak";
+}
+
+namespace {
+
+/**
+ * Parse and verify one envelope file's text. On success fills
+ * `payload` (when non-null) and returns true; on any defect returns
+ * false with a one-line diagnosis in `why`.
+ */
+bool
+verifyEnvelope(const std::string &text, Json *payload,
+               std::string *why)
+{
+    Json doc;
+    try {
+        doc = Json::parse(text);
+    } catch (const std::exception &e) {
+        *why = strprintf("unparseable (%s)", e.what());
+        return false;
+    }
+    const Json *format = doc.get("format");
+    if (!format || format->type() != Json::Type::String ||
+        format->asString() != kStateFormat) {
+        *why = "not a rigorbench state envelope";
+        return false;
+    }
+    const Json *version = doc.get("version");
+    if (!version || version->type() != Json::Type::Int) {
+        *why = "missing schema version";
+        return false;
+    }
+    if (version->asInt() != kStateVersion) {
+        *why = strprintf("unsupported schema version %lld "
+                         "(this build reads version %d)",
+                         static_cast<long long>(version->asInt()),
+                         kStateVersion);
+        return false;
+    }
+    const Json *crc = doc.get("crc32");
+    if (!crc || crc->type() != Json::Type::String) {
+        *why = "missing crc32";
+        return false;
+    }
+    const Json *body = doc.get("payload");
+    if (!body) {
+        *why = "missing payload";
+        return false;
+    }
+    char *end = nullptr;
+    errno = 0;
+    unsigned long stored =
+        std::strtoul(crc->asString().c_str(), &end, 16);
+    if (end == crc->asString().c_str() || *end != '\0' ||
+        errno == ERANGE) {
+        *why = strprintf("malformed crc32 '%s'",
+                         crc->asString().c_str());
+        return false;
+    }
+    uint32_t computed = crc32(body->dump());
+    if (computed != static_cast<uint32_t>(stored)) {
+        *why = strprintf("checksum mismatch (stored 0x%08lx, "
+                         "computed 0x%08x)",
+                         stored, computed);
+        return false;
+    }
+    if (payload)
+        *payload = *body;
+    return true;
+}
+
+} // namespace
+
+void
+writeStateFile(const std::string &path, const Json &payload)
+{
+    Json envelope = Json::object();
+    envelope.set("format", kStateFormat);
+    envelope.set("version", kStateVersion);
+    envelope.set("crc32", strprintf("%08x", crc32(payload.dump())));
+    envelope.set("payload", payload);
+
+    // Rotate the previous checkpoint to .bak, but only if it still
+    // verifies: a corrupt main file must not clobber a good backup.
+    std::string prev, why;
+    if (readFile(path, prev) && verifyEnvelope(prev, nullptr, &why)) {
+        std::string bak = stateBackupPath(path);
+        if (::rename(path.c_str(), bak.c_str()) != 0)
+            fatal("cannot rotate %s to %s: %s", path.c_str(),
+                  bak.c_str(), std::strerror(errno));
+    }
+    atomicWriteFile(path, envelope.dump(2) + "\n");
+}
+
+StateLoad
+loadStateFile(const std::string &path)
+{
+    StateLoad out;
+    std::string text;
+    std::string mainWhy;
+    if (!readFile(path, text))
+        mainWhy = "cannot read file";
+    else if (verifyEnvelope(text, &out.payload, &mainWhy))
+        return out;
+
+    std::string bak = stateBackupPath(path);
+    std::string bakText, bakWhy;
+    if (!readFile(bak, bakText))
+        bakWhy = "cannot read file";
+    else if (verifyEnvelope(bakText, &out.payload, &bakWhy)) {
+        out.usedBackup = true;
+        out.warning = strprintf(
+            "state file %s is unusable (%s); recovered the last "
+            "good checkpoint from %s",
+            path.c_str(), mainWhy.c_str(), bak.c_str());
+        return out;
+    }
+    fatal("cannot load state: %s (%s); %s (%s)", path.c_str(),
+          mainWhy.c_str(), bak.c_str(), bakWhy.c_str());
+}
+
+bool
+stateFileExists(const std::string &path)
+{
+    return ::access(path.c_str(), F_OK) == 0 ||
+        ::access(stateBackupPath(path).c_str(), F_OK) == 0;
+}
+
+} // namespace rigor

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Durable file I/O: atomic whole-file replacement (write to a
+ * temporary, flush, fsync, rename) with explicit error propagation,
+ * and a checksummed, versioned envelope for resume/checkpoint state.
+ *
+ * The harness' artifacts used to be written with an unchecked
+ * std::ofstream at the end of a run: a full disk silently produced
+ * truncated or empty files, and a crash mid-write destroyed the
+ * previous good state. Every artifact and checkpoint now goes through
+ * this layer, so on-disk state is always either the old complete file
+ * or the new complete file, never a torn mixture, and every write
+ * failure surfaces as a FatalError naming the path and the failing
+ * operation.
+ */
+
+#ifndef RIGOR_SUPPORT_DURABLE_IO_HH
+#define RIGOR_SUPPORT_DURABLE_IO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/json.hh"
+
+namespace rigor {
+
+/** CRC-32 (IEEE 802.3 polynomial, as used by zip/png) of a buffer. */
+uint32_t crc32(const void *data, size_t len);
+
+/** CRC-32 of a string's bytes. */
+uint32_t crc32(const std::string &s);
+
+/**
+ * Atomically replace `path` with `content`: the bytes are written to
+ * `path.tmp`, flushed and fsync'd, then renamed over `path`. A reader
+ * (or a crash) can never observe a partially-written file. The
+ * containing directory is fsync'd best-effort after the rename so the
+ * replacement itself survives power loss on POSIX filesystems.
+ * @throws FatalError naming the path and failing step (open, write,
+ * fsync, close or rename) — a full disk is a loud error, not an empty
+ * file.
+ */
+void atomicWriteFile(const std::string &path,
+                     const std::string &content);
+
+/**
+ * Read a whole file into `out`.
+ * @return false if the file cannot be opened or read (out is then
+ * unspecified); never throws.
+ */
+bool readFile(const std::string &path, std::string &out);
+
+// --- checksummed state envelope -------------------------------------
+
+/** Envelope format tag; rejects files that are not rigorbench state. */
+inline constexpr const char *kStateFormat = "rigorbench-state";
+
+/** Current envelope schema version. */
+inline constexpr int kStateVersion = 1;
+
+/** The backup a checkpoint write rotates the previous file to. */
+std::string stateBackupPath(const std::string &path);
+
+/**
+ * Wrap `payload` in a `{format, version, crc32, payload}` envelope and
+ * atomically write it to `path`. If `path` already holds a *valid*
+ * envelope it is first rotated to `path.bak`, so the last good
+ * checkpoint survives even a crash between the rotation and the
+ * rename (the loader falls back to the backup). An invalid existing
+ * file is never rotated — corruption must not clobber a good backup.
+ * The CRC covers the compact dump of the payload, which is canonical
+ * (object keys are sorted, doubles print round-trip exact).
+ * @throws FatalError on any I/O failure.
+ */
+void writeStateFile(const std::string &path, const Json &payload);
+
+/** Result of loading a checksummed state file. */
+struct StateLoad
+{
+    /** The verified payload. */
+    Json payload;
+    /** True when `path` was unusable and `path.bak` was used. */
+    bool usedBackup = false;
+    /** Human-readable recovery note (non-empty iff usedBackup). */
+    std::string warning;
+};
+
+/**
+ * Load and verify a state envelope. A main file that is missing,
+ * unparseable, truncated, checksum-mismatched or version-mismatched
+ * triggers a fallback to `path.bak` (verified the same way).
+ * @throws FatalError describing both failures when neither file is
+ * usable.
+ */
+StateLoad loadStateFile(const std::string &path);
+
+/** True when `path` or its `.bak` exists (resume should be tried). */
+bool stateFileExists(const std::string &path);
+
+} // namespace rigor
+
+#endif // RIGOR_SUPPORT_DURABLE_IO_HH

@@ -1,0 +1,68 @@
+#include "support/interrupt.hh"
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace rigor {
+
+namespace {
+
+/** Signals received so far; lock-free atomics are signal-safe. */
+std::atomic<int> g_interrupts{0};
+
+void
+onSignal(int)
+{
+    int n = g_interrupts.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n >= 2) {
+        static const char kHard[] =
+            "\nrigorbench: second signal, exiting immediately\n";
+        ssize_t ignored = ::write(2, kHard, sizeof(kHard) - 1);
+        (void)ignored;
+        ::_exit(kExitInterrupted);
+    }
+    static const char kSoft[] =
+        "\nrigorbench: interrupt requested; stopping at the next "
+        "commit boundary (signal again to exit immediately)\n";
+    ssize_t ignored = ::write(2, kSoft, sizeof(kSoft) - 1);
+    (void)ignored;
+}
+
+} // namespace
+
+void
+installInterruptHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    // SA_RESTART: a mid-write artifact flush must not see EINTR; the
+    // runner notices the flag at its next commit boundary anyway.
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+interruptRequested()
+{
+    return g_interrupts.load(std::memory_order_relaxed) > 0;
+}
+
+void
+requestInterrupt()
+{
+    g_interrupts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+clearInterruptRequest()
+{
+    g_interrupts.store(0, std::memory_order_relaxed);
+}
+
+} // namespace rigor

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cooperative interruption: SIGINT/SIGTERM set an atomic flag that
+ * long-running code polls at safe points (the runner polls at
+ * invocation-commit boundaries). The first signal requests a clean
+ * stop — flush a checkpoint, write partial artifacts, exit with the
+ * distinct "interrupted, resumable" code; a second signal exits
+ * immediately for users who really mean it.
+ *
+ * The flag is process-global and defaults to clear, so library users
+ * and tests that never install the handlers see no behavior change.
+ */
+
+#ifndef RIGOR_SUPPORT_INTERRUPT_HH
+#define RIGOR_SUPPORT_INTERRUPT_HH
+
+namespace rigor {
+
+/**
+ * Process exit code meaning "interrupted; on-disk state is resumable"
+ * (see the exit-code table in README.md). Lives here rather than in
+ * the CLI because the second-signal immediate _exit() in the handler
+ * uses it too.
+ */
+inline constexpr int kExitInterrupted = 3;
+
+/**
+ * Install SIGINT/SIGTERM handlers: the first signal sets the
+ * interrupt flag (and prints a short async-signal-safe notice), the
+ * second calls _exit(kExitInterrupted) immediately.
+ */
+void installInterruptHandlers();
+
+/** True once an interrupt has been requested (signal or manual). */
+bool interruptRequested();
+
+/** Request an interrupt programmatically (tests, embedders). */
+void requestInterrupt();
+
+/** Clear a pending request (tests; a process resumes nothing). */
+void clearInterruptRequest();
+
+} // namespace rigor
+
+#endif // RIGOR_SUPPORT_INTERRUPT_HH

@@ -97,6 +97,18 @@ Json::get(const std::string &key) const
     return it == obj.end() ? nullptr : &it->second;
 }
 
+std::vector<std::string>
+Json::keys() const
+{
+    if (type_ != Type::Object)
+        panic("Json::keys on non-object");
+    std::vector<std::string> out;
+    out.reserve(obj.size());
+    for (const auto &[k, v] : obj)
+        out.push_back(k);
+    return out;
+}
+
 bool
 Json::asBool() const
 {

@@ -69,6 +69,12 @@ class Json
      * older files that predate a field.
      */
     const Json *get(const std::string &key) const;
+    /**
+     * Object keys in canonical (sorted) order; panics on non-objects.
+     * Used by readers of open-ended maps, e.g. restoring a metrics
+     * snapshot whose counter names are data, not schema.
+     */
+    std::vector<std::string> keys() const;
 
     bool asBool() const;
     int64_t asInt() const;

@@ -53,6 +53,25 @@ Histogram::bucketCounts() const
 }
 
 void
+Histogram::restore(const std::vector<uint64_t> &bucket_counts,
+                   uint64_t count, double sum)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (buffered_)
+        panic("Histogram::restore on a buffered histogram (the "
+              "replay log cannot be reconstructed)");
+    if (count_ != 0)
+        panic("Histogram::restore: histogram already has "
+              "observations");
+    if (bucket_counts.size() != counts.size())
+        panic("Histogram::restore: %zu bucket counts for %zu buckets",
+              bucket_counts.size(), counts.size());
+    counts = bucket_counts;
+    count_ = count;
+    sum_ = sum;
+}
+
+void
 Histogram::merge(const Histogram &other)
 {
     if (other.bounds_ != bounds_)
@@ -194,6 +213,48 @@ MetricsRegistry::toJson() const
     }
     root.set("histograms", std::move(hs));
     return root;
+}
+
+void
+MetricsRegistry::restoreFromJson(const Json &doc)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (buffered_)
+            panic("MetricsRegistry::restoreFromJson on a buffered "
+                  "registry");
+        if (!counters.empty() || !gauges.empty() ||
+            !histograms.empty())
+            panic("MetricsRegistry::restoreFromJson: registry is "
+                  "not empty");
+    }
+    const Json &cs = doc.at("counters");
+    for (const auto &name : cs.keys())
+        counter(name).inc(
+            static_cast<uint64_t>(cs.at(name).asInt()));
+    const Json &gs = doc.at("gauges");
+    for (const auto &name : gs.keys())
+        gauge(name).set(gs.at(name).asDouble());
+    const Json &hs = doc.at("histograms");
+    for (const auto &name : hs.keys()) {
+        const Json &h = hs.at(name);
+        const Json &buckets = h.at("buckets");
+        std::vector<double> bounds;
+        std::vector<uint64_t> counts;
+        for (size_t i = 0; i < buckets.size(); ++i) {
+            const Json &b = buckets.at(i);
+            const Json &le = b.at("le");
+            // The "+inf" overflow bucket has no explicit bound.
+            if (le.type() != Json::Type::String)
+                bounds.push_back(le.asDouble());
+            counts.push_back(
+                static_cast<uint64_t>(b.at("count").asInt()));
+        }
+        histogram(name, std::move(bounds))
+            .restore(counts, static_cast<uint64_t>(
+                                 h.at("count").asInt()),
+                     h.at("sum").asDouble());
+    }
 }
 
 std::vector<double>

@@ -94,6 +94,17 @@ class Histogram
     std::vector<uint64_t> bucketCounts() const;
 
     /**
+     * Overwrite this (empty, unbuffered) histogram's state with
+     * checkpointed data: per-bucket counts, total count and the exact
+     * partial sum. Later observe() calls continue the very same
+     * floating-point accumulation a never-checkpointed histogram
+     * would have performed, which is what keeps a resumed run's
+     * metrics snapshot byte-identical to an uninterrupted one.
+     */
+    void restore(const std::vector<uint64_t> &bucket_counts,
+                 uint64_t count, double sum);
+
+    /**
      * Fold another histogram's observations into this one. The bucket
      * bounds must match exactly (it is a bug if they do not). When
      * `other` is buffered its observations are replayed one by one,
@@ -164,6 +175,16 @@ class MetricsRegistry
      *                                       "count": n}, ...]}}}
      */
     Json toJson() const;
+
+    /**
+     * Rebuild a registry from a toJson() snapshot (resume after a
+     * checkpoint). Must be called on a freshly-constructed, unbuffered
+     * registry (panics otherwise): counters, gauges and histograms —
+     * bucket bounds included — are recreated exactly as dumped, so
+     * toJson() of the restored registry reproduces the snapshot byte
+     * for byte and further updates continue the original accumulation.
+     */
+    void restoreFromJson(const Json &doc);
 
     /**
      * `count` upper bounds starting at `start`, each `factor` times

@@ -126,4 +126,37 @@ TraceEmitter::toJson() const
     return root;
 }
 
+Json
+TraceEmitter::checkpointJson() const
+{
+    Json root = Json::object();
+    root.set("clock_ms", clockMs);
+    Json open = Json::array();
+    for (const auto &name : openNames)
+        open.push(name);
+    root.set("open_spans", std::move(open));
+    Json evs = Json::array();
+    for (const auto &e : events)
+        evs.push(e);
+    root.set("events", std::move(evs));
+    return root;
+}
+
+void
+TraceEmitter::restoreCheckpoint(const Json &doc)
+{
+    if (buffered_)
+        panic("TraceEmitter::restoreCheckpoint on a buffered emitter");
+    if (!events.empty() || !openNames.empty() || clockMs != 0.0)
+        panic("TraceEmitter::restoreCheckpoint: emitter is not "
+              "pristine");
+    clockMs = doc.at("clock_ms").asDouble();
+    const Json &open = doc.at("open_spans");
+    for (size_t i = 0; i < open.size(); ++i)
+        openNames.push_back(open.at(i).asString());
+    const Json &evs = doc.at("events");
+    for (size_t i = 0; i < evs.size(); ++i)
+        events.push_back(evs.at(i));
+}
+
 } // namespace rigor

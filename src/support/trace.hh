@@ -109,6 +109,26 @@ class TraceEmitter
      */
     Json toJson() const;
 
+    /**
+     * Mid-run snapshot for a resume checkpoint:
+     *   {"clock_ms": c, "open_spans": [names...], "events": [...]}
+     * Unlike toJson() this captures the emitter's full state — the
+     * modelled clock (serialized directly, because re-deriving it from
+     * the last event's microsecond timestamp would not be bit-exact)
+     * and the span-nesting stack — so restoreCheckpoint() can continue
+     * the very document an interrupted run was building.
+     */
+    Json checkpointJson() const;
+
+    /**
+     * Rebuild emitter state from a checkpointJson() snapshot. Must be
+     * called on a pristine, unbuffered emitter (panics otherwise).
+     * After the restore, further emissions continue the original
+     * clock arithmetic, so a resumed run's final trace is
+     * byte-identical to an uninterrupted one.
+     */
+    void restoreCheckpoint(const Json &doc);
+
   private:
     /**
      * One replay-log entry of a buffered emitter: either a clock

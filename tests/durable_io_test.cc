@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the durable I/O layer: CRC-32 against known vectors,
+ * atomic whole-file replacement, the checksummed/versioned state
+ * envelope, backup rotation, and corruption recovery (truncated,
+ * checksum-mismatched and version-mismatched files must fall back to
+ * the .bak copy, and fail loudly when no copy is usable).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "support/durable_io.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace rigor {
+namespace {
+
+/** Fresh scratch directory, removed on destruction. */
+class ScratchDir
+{
+  public:
+    ScratchDir()
+    {
+        char tmpl[] = "/tmp/rigor_durable_XXXXXX";
+        const char *d = ::mkdtemp(tmpl);
+        EXPECT_NE(d, nullptr);
+        dir_ = d ? d : ".";
+    }
+
+    ~ScratchDir()
+    {
+        std::string cmd = "rm -rf '" + dir_ + "'";
+        int rc = std::system(cmd.c_str());
+        (void)rc;
+    }
+
+    std::string path(const std::string &name) const
+    {
+        return dir_ + "/" + name;
+    }
+
+  private:
+    std::string dir_;
+};
+
+Json
+samplePayload(int marker)
+{
+    Json p = Json::object();
+    p.set("kind", "test");
+    p.set("marker", marker);
+    Json arr = Json::array();
+    arr.push(1.5);
+    arr.push(0.1);
+    p.set("values", std::move(arr));
+    return p;
+}
+
+TEST(Crc32, KnownVectors)
+{
+    // The standard check value for CRC-32/IEEE.
+    EXPECT_EQ(crc32(std::string("123456789")), 0xCBF43926u);
+    EXPECT_EQ(crc32(std::string("")), 0x00000000u);
+    EXPECT_EQ(crc32(std::string("a")), 0xE8B7BE43u);
+}
+
+TEST(AtomicWrite, WritesAndReplaces)
+{
+    ScratchDir dir;
+    std::string p = dir.path("f.txt");
+    atomicWriteFile(p, "first\n");
+    std::string got;
+    ASSERT_TRUE(readFile(p, got));
+    EXPECT_EQ(got, "first\n");
+
+    atomicWriteFile(p, "second\n");
+    ASSERT_TRUE(readFile(p, got));
+    EXPECT_EQ(got, "second\n");
+
+    // No .tmp residue is left behind.
+    EXPECT_FALSE(readFile(p + ".tmp", got));
+}
+
+TEST(AtomicWrite, FailureIsLoud)
+{
+    EXPECT_THROW(
+        atomicWriteFile("/nonexistent-dir-xyz/f.txt", "data"),
+        FatalError);
+}
+
+TEST(StateFile, RoundTrip)
+{
+    ScratchDir dir;
+    std::string p = dir.path("state.json");
+    EXPECT_FALSE(stateFileExists(p));
+    writeStateFile(p, samplePayload(1));
+    EXPECT_TRUE(stateFileExists(p));
+
+    StateLoad load = loadStateFile(p);
+    EXPECT_FALSE(load.usedBackup);
+    EXPECT_EQ(load.payload.dump(), samplePayload(1).dump());
+}
+
+TEST(StateFile, RotatesBackupOnRewrite)
+{
+    ScratchDir dir;
+    std::string p = dir.path("state.json");
+    writeStateFile(p, samplePayload(1));
+    writeStateFile(p, samplePayload(2));
+
+    // Main file holds the new payload; .bak holds the previous one.
+    StateLoad load = loadStateFile(p);
+    EXPECT_FALSE(load.usedBackup);
+    EXPECT_EQ(load.payload.dump(), samplePayload(2).dump());
+
+    std::string bak;
+    ASSERT_TRUE(readFile(stateBackupPath(p), bak));
+    StateLoad bload = loadStateFile(stateBackupPath(p));
+    EXPECT_EQ(bload.payload.dump(), samplePayload(1).dump());
+}
+
+TEST(StateFile, TruncatedMainFallsBackToBackup)
+{
+    ScratchDir dir;
+    std::string p = dir.path("state.json");
+    writeStateFile(p, samplePayload(1));
+    writeStateFile(p, samplePayload(2));
+
+    // Simulate a torn write the atomic layer is supposed to prevent
+    // (e.g. manual editing or filesystem damage): truncate main.
+    std::string text;
+    ASSERT_TRUE(readFile(p, text));
+    atomicWriteFile(p, text.substr(0, text.size() / 2));
+
+    StateLoad load = loadStateFile(p);
+    EXPECT_TRUE(load.usedBackup);
+    EXPECT_NE(load.warning.find("recovered"), std::string::npos);
+    EXPECT_EQ(load.payload.dump(), samplePayload(1).dump());
+}
+
+TEST(StateFile, ChecksumMismatchDetected)
+{
+    ScratchDir dir;
+    std::string p = dir.path("state.json");
+    writeStateFile(p, samplePayload(1));
+    writeStateFile(p, samplePayload(2));
+
+    // Flip payload content without updating the stored CRC.
+    std::string text;
+    ASSERT_TRUE(readFile(p, text));
+    size_t pos = text.find("\"marker\": 2");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 11, "\"marker\": 9");
+    atomicWriteFile(p, text);
+
+    StateLoad load = loadStateFile(p);
+    EXPECT_TRUE(load.usedBackup);
+    EXPECT_NE(load.warning.find("checksum mismatch"),
+              std::string::npos);
+    EXPECT_EQ(load.payload.dump(), samplePayload(1).dump());
+}
+
+TEST(StateFile, VersionMismatchDetected)
+{
+    ScratchDir dir;
+    std::string p = dir.path("state.json");
+    writeStateFile(p, samplePayload(1));
+    writeStateFile(p, samplePayload(2));
+
+    std::string text;
+    ASSERT_TRUE(readFile(p, text));
+    size_t pos = text.find("\"version\": 1");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 12, "\"version\": 99");
+    atomicWriteFile(p, text);
+
+    StateLoad load = loadStateFile(p);
+    EXPECT_TRUE(load.usedBackup);
+    EXPECT_NE(load.warning.find("version"), std::string::npos);
+    EXPECT_EQ(load.payload.dump(), samplePayload(1).dump());
+}
+
+TEST(StateFile, BothUnusableIsFatal)
+{
+    ScratchDir dir;
+    std::string p = dir.path("state.json");
+    atomicWriteFile(p, "not json at all");
+    atomicWriteFile(stateBackupPath(p), "{\"also\": \"bad\"}");
+    EXPECT_THROW(loadStateFile(p), FatalError);
+}
+
+TEST(StateFile, MissingIsFatal)
+{
+    ScratchDir dir;
+    EXPECT_THROW(loadStateFile(dir.path("absent.json")), FatalError);
+}
+
+TEST(StateFile, CorruptMainDoesNotClobberGoodBackup)
+{
+    ScratchDir dir;
+    std::string p = dir.path("state.json");
+    writeStateFile(p, samplePayload(1));
+    writeStateFile(p, samplePayload(2));
+    // Corrupt the main file, then write a new checkpoint: the
+    // rotation must skip the corrupt main so .bak keeps payload 1
+    // (the last good checkpoint), not the corrupt bytes.
+    atomicWriteFile(p, "garbage");
+    writeStateFile(p, samplePayload(3));
+
+    StateLoad bload = loadStateFile(stateBackupPath(p));
+    EXPECT_EQ(bload.payload.dump(), samplePayload(1).dump());
+    StateLoad load = loadStateFile(p);
+    EXPECT_FALSE(load.usedBackup);
+    EXPECT_EQ(load.payload.dump(), samplePayload(3).dump());
+}
+
+TEST(StateFile, ExistsChecksBackupToo)
+{
+    ScratchDir dir;
+    std::string p = dir.path("state.json");
+    writeStateFile(p, samplePayload(1));
+    writeStateFile(p, samplePayload(2));
+    ASSERT_EQ(::unlink(p.c_str()), 0);
+    EXPECT_TRUE(stateFileExists(p));
+    StateLoad load = loadStateFile(p);
+    EXPECT_TRUE(load.usedBackup);
+    EXPECT_EQ(load.payload.dump(), samplePayload(1).dump());
+}
+
+} // namespace
+} // namespace rigor

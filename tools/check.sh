@@ -31,4 +31,8 @@ cmp "$tmp/j1.json" "$tmp/j4.json"
 cmp "$tmp/m1.json" "$tmp/m4.json"
 cmp "$tmp/t1.json" "$tmp/t4.json"
 
+echo "== interrupt/resume smoke (SIGTERM mid-suite, byte-identity) =="
+bash tests/interrupt_resume_test.sh ./build/tools/rigorbench
+bash tests/interrupt_resume_test.sh ./build-asan/tools/rigorbench
+
 echo "all checks passed"

@@ -39,15 +39,31 @@
  *                            wl=NAME inv=N n=COUNT p=PROB mag=X
  *   --max-retries N          retries per invocation (default 2)
  *   --deadline-ms X          per-invocation modelled-time deadline
- *   --resume FILE            (suite only) persist state after every
- *                            workload and skip completed ones
+ *
+ * Durability (see docs/METHODOLOGY.md §12):
+ *   --resume FILE            (suite only) persist checksummed state
+ *                            after every workload and skip completed
+ *                            ones on restart; a checkpoint interrupted
+ *                            mid-write falls back to FILE.bak
+ *   --checkpoint-every N     (suite, needs --resume) additionally
+ *                            checkpoint every N committed invocations,
+ *                            so an interrupted *run* resumes mid-
+ *                            workload; final artifacts are invariant
+ *                            under the checkpoint cadence
+ *
+ * Exit codes (stable; scripts may rely on them):
+ *   0  success
+ *   1  usage error (bad flags/arguments)
+ *   2  runtime or suite failure (nothing measurable, I/O error)
+ *   3  interrupted (SIGINT/SIGTERM); state is resumable when
+ *      --resume was given
  */
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -59,6 +75,8 @@
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/sequential.hh"
+#include "support/durable_io.hh"
+#include "support/interrupt.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/str.hh"
@@ -69,6 +87,12 @@
 using namespace rigor;
 
 namespace {
+
+// Exit-code table (see the file header). kExitInterrupted (3) lives
+// in support/interrupt.hh because the signal handler uses it too.
+constexpr int kExitSuccess = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitFailure = 2;
 
 struct Options
 {
@@ -89,9 +113,12 @@ struct Options
     bool noNoise = false;
     bool quiet = false;
     harness::FaultPlan faultPlan;
+    /** Raw --inject specs, kept for the resume-config fingerprint. */
+    std::vector<std::string> injectSpecs;
     int maxRetries = 2;
     double deadlineMs = 0.0;
     std::string resumePath;
+    int checkpointEvery = 0;
     std::string metricsPath;
     std::string tracePath;
 
@@ -114,14 +141,15 @@ printUsage(std::FILE *out)
         "--json FILE --csv FILE --no-noise\n"
         "         --inject SPEC --max-retries N --deadline-ms X "
         "--resume FILE\n"
-        "         --metrics FILE --trace FILE --quiet\n");
+        "         --checkpoint-every N --metrics FILE --trace FILE "
+        "--quiet\n");
 }
 
 [[noreturn]] void
 usage()
 {
     printUsage(stderr);
-    std::exit(2);
+    std::exit(kExitUsage);
 }
 
 /**
@@ -240,7 +268,9 @@ parseArgs(int argc, char **argv)
         } else if (a == "--trace") {
             opt.tracePath = next();
         } else if (a == "--inject") {
-            opt.faultPlan.add(next());
+            const char *spec = next();
+            opt.faultPlan.add(spec);
+            opt.injectSpecs.push_back(spec);
         } else if (a == "--max-retries") {
             opt.maxRetries = static_cast<int>(
                 parseInt("--max-retries", next(), 0));
@@ -249,10 +279,17 @@ parseArgs(int argc, char **argv)
                                          1e-9);
         } else if (a == "--resume") {
             opt.resumePath = next();
+        } else if (a == "--checkpoint-every") {
+            opt.checkpointEvery = static_cast<int>(
+                parseInt("--checkpoint-every", next(), 1));
         } else {
             usage();
         }
     }
+    if (opt.checkpointEvery > 0 &&
+        (opt.command != "suite" || opt.resumePath.empty()))
+        fatal("--checkpoint-every requires 'suite' with --resume "
+              "(checkpoints are written to the resume state file)");
     return opt;
 }
 
@@ -281,17 +318,14 @@ void
 dumpOutputs(const Options &opt, const harness::RunResult &run)
 {
     if (!opt.jsonPath.empty()) {
-        std::ofstream os(opt.jsonPath);
-        if (!os)
-            fatal("cannot write %s", opt.jsonPath.c_str());
-        os << harness::runToJson(run).dump(2) << "\n";
+        atomicWriteFile(opt.jsonPath,
+                        harness::runToJson(run).dump(2) + "\n");
         std::printf("wrote %s\n", opt.jsonPath.c_str());
     }
     if (!opt.csvPath.empty()) {
-        std::ofstream os(opt.csvPath);
-        if (!os)
-            fatal("cannot write %s", opt.csvPath.c_str());
+        std::ostringstream os;
         harness::writeSeriesCsv(os, run);
+        atomicWriteFile(opt.csvPath, os.str());
         std::printf("wrote %s\n", opt.csvPath.c_str());
     }
 }
@@ -351,7 +385,7 @@ cmdEnv()
     harness::EnvReport report = harness::collectEnvironment();
     std::printf("%s", report.render().c_str());
     std::printf("%d warning(s)\n", report.warningCount());
-    return 0;
+    return kExitSuccess;
 }
 
 int
@@ -363,7 +397,7 @@ cmdList()
                   std::to_string(w.defaultSize), w.description});
     }
     std::printf("%s", t.render().c_str());
-    return 0;
+    return kExitSuccess;
 }
 
 int
@@ -372,7 +406,7 @@ cmdDisasm(const Options &opt)
     const auto &spec = workloads::findWorkload(opt.workload);
     vm::Program prog = vm::compileSource(spec.source, spec.name);
     std::printf("%s", prog.module->disassemble().c_str());
-    return 0;
+    return kExitSuccess;
 }
 
 int
@@ -382,7 +416,9 @@ cmdRun(const Options &opt, const harness::FaultInjector *faults)
         opt.workload, makeConfig(opt, opt.tier, faults));
     printEstimate(run);
     dumpOutputs(opt, run);
-    return run.invocations.empty() ? 1 : 0;
+    if (run.interrupted)
+        return kExitInterrupted;
+    return run.invocations.empty() ? kExitFailure : kExitSuccess;
 }
 
 int
@@ -399,7 +435,7 @@ cmdProfile(const Options &opt)
     pcfg.jitThreshold = opt.jitThreshold;
     auto prof = harness::profileWorkload(opt.workload, pcfg);
     std::printf("%s", harness::renderProfile(prof).c_str());
-    return 0;
+    return kExitSuccess;
 }
 
 int
@@ -407,18 +443,24 @@ cmdCompare(const Options &opt, const harness::FaultInjector *faults)
 {
     auto interp = harness::runExperiment(
         opt.workload, makeConfig(opt, vm::Tier::Interp, faults));
+    if (interp.interrupted) {
+        printEstimate(interp);
+        return kExitInterrupted;
+    }
     auto jit = harness::runExperiment(
         opt.workload, makeConfig(opt, vm::Tier::Adaptive, faults));
     printEstimate(interp);
     printEstimate(jit);
+    if (jit.interrupted)
+        return kExitInterrupted;
     if (interp.invocations.empty() || jit.invocations.empty())
-        return 1;
+        return kExitFailure;
     auto s = harness::rigorousSpeedup(interp, jit);
     std::printf("speedup (adaptive over interp): %s %s\n",
                 harness::formatCi(s.ci, 3).c_str(),
                 s.significant ? "(significant)"
                               : "(not significant)");
-    return 0;
+    return kExitSuccess;
 }
 
 int
@@ -431,18 +473,21 @@ cmdSequential(const Options &opt,
     auto res = harness::runSequential(
         opt.workload, makeConfig(opt, opt.tier, faults), seq);
     printEstimate(res.run);
-    if (res.run.invocations.empty())
-        return 1;
-    std::printf("  sequential: %s after %d invocations "
-                "(target ±%.1f%%)\n",
-                res.converged ? "converged" : "budget exhausted",
-                res.invocationsUsed, opt.targetPct);
-    std::printf("  width trajectory:");
-    for (double w : res.widthTrajectory)
-        std::printf(" %.2f%%", 100.0 * w);
-    std::printf("\n");
+    if (!res.run.invocations.empty() && !res.run.interrupted) {
+        std::printf("  sequential: %s after %d invocations "
+                    "(target ±%.1f%%)\n",
+                    res.converged ? "converged" : "budget exhausted",
+                    res.invocationsUsed, opt.targetPct);
+        std::printf("  width trajectory:");
+        for (double w : res.widthTrajectory)
+            std::printf(" %.2f%%", 100.0 * w);
+        std::printf("\n");
+    }
     dumpOutputs(opt, res.run);
-    return 0;
+    if (res.run.interrupted)
+        return kExitInterrupted;
+    return res.run.invocations.empty() ? kExitFailure
+                                       : kExitSuccess;
 }
 
 /**
@@ -470,31 +515,162 @@ logTraced(const Options &opt, LogLevel level, const char *fmt, ...)
         inform("%s", msg.c_str());
 }
 
-void
-writeSuiteState(const std::string &path,
-                const harness::SuiteState &state)
+/**
+ * The subset of the configuration that determines measurements.
+ * Stored in every checkpoint and compared verbatim on resume: a
+ * resume with a different fingerprint would silently mix incomparable
+ * measurements, so it is rejected. --jobs and --checkpoint-every are
+ * deliberately absent — artifacts are invariant under both, and
+ * resuming at a different parallelism or cadence is supported.
+ */
+Json
+configJson(const Options &opt)
 {
-    std::ofstream os(path);
-    if (!os)
-        fatal("cannot write %s", path.c_str());
-    os << harness::suiteStateToJson(state).dump(2) << "\n";
+    Json c = Json::object();
+    c.set("seed", strprintf("0x%016llx",
+                            static_cast<unsigned long long>(
+                                opt.seed)));
+    c.set("invocations", opt.invocations);
+    c.set("iterations", opt.iterations);
+    c.set("size", opt.size);
+    c.set("jit_threshold", opt.jitThreshold);
+    c.set("max_retries", opt.maxRetries);
+    c.set("deadline_ms", opt.deadlineMs);
+    c.set("no_noise", opt.noNoise);
+    // Cosmetic at first sight, but --quiet suppresses the log-mirror
+    // instants in the trace, so it changes artifact bytes.
+    c.set("quiet", opt.quiet);
+    Json inj = Json::array();
+    for (const auto &s : opt.injectSpecs)
+        inj.push(s);
+    c.set("inject", std::move(inj));
+    return c;
 }
 
-harness::SuiteState
-loadSuiteState(const std::string &path, const Options &opt)
+/**
+ * Writes the suite's checksummed resume state (durable_io envelope).
+ * A checkpoint captures everything a resumed process needs to
+ * continue byte-identically: the completed-workload table, the
+ * partial run(s) of the workload in flight, and snapshots of the
+ * shared metrics registry and trace emitter taken at the same commit
+ * boundary (the runner invokes writeInProgress on the committing
+ * thread while the shared sinks are quiescent, so the snapshot is
+ * race-free at any --jobs value).
+ */
+class SuiteCheckpointer
 {
-    std::ifstream is(path);
-    std::stringstream buf;
-    buf << is.rdbuf();
-    auto state = harness::suiteStateFromJson(Json::parse(buf.str()));
-    if (state.seed != opt.seed ||
-        state.invocations != opt.invocations ||
-        state.iterations != opt.iterations)
-        fatal("%s was recorded with different design parameters "
-              "(seed/invocations/iterations); refusing to mix "
-              "incomparable measurements",
-              path.c_str());
-    return state;
+  public:
+    SuiteCheckpointer(const Options &opt,
+                      const harness::SuiteState &state)
+        : opt_(opt), state_(state)
+    {}
+
+    /** A workload's measurement is starting (interp tier first). */
+    void beginWorkload(const std::string &name)
+    {
+        currentName_ = name;
+        interpDone_ = nullptr;
+    }
+
+    /** The interp run finished; `interp` outlives the adaptive run. */
+    void setInterpDone(const harness::RunResult *interp)
+    {
+        interpDone_ = interp;
+    }
+
+    /** The workload finished (or failed); nothing is in flight. */
+    void endWorkload()
+    {
+        currentName_.clear();
+        interpDone_ = nullptr;
+    }
+
+    /** Checkpoint between workloads (after a completed one commits). */
+    void writeCompleted() { write(nullptr); }
+
+    /** Mid-run checkpoint (the runner's onCheckpoint callback). */
+    void writeInProgress(const harness::RunResult &run)
+    {
+        write(&run);
+    }
+
+  private:
+    void
+    write(const harness::RunResult *current)
+    {
+        Json payload = Json::object();
+        payload.set("kind", "suite");
+        payload.set("config", configJson(opt_));
+        payload.set("suite", harness::suiteStateToJson(state_));
+        if (current) {
+            Json ip = Json::object();
+            ip.set("name", currentName_);
+            // While the interp tier runs, `current` is the partial
+            // interp run; once interpDone_ is set, `current` is the
+            // partial adaptive run.
+            ip.set("interp", harness::runToJson(
+                                 interpDone_ ? *interpDone_
+                                             : *current));
+            if (interpDone_)
+                ip.set("adaptive", harness::runToJson(*current));
+            payload.set("in_progress", std::move(ip));
+        }
+        if (opt_.metrics)
+            payload.set("metrics", opt_.metrics->toJson());
+        if (opt_.trace)
+            payload.set("trace", opt_.trace->checkpointJson());
+        writeStateFile(opt_.resumePath, payload);
+    }
+
+    const Options &opt_;
+    const harness::SuiteState &state_;
+    std::string currentName_;
+    const harness::RunResult *interpDone_ = nullptr;
+};
+
+/** Outcome of measuring (or resuming) one suite workload. */
+struct SuiteStep
+{
+    harness::SuiteWorkloadState ws;
+    /** True when an interrupt stopped the measurement mid-way. */
+    bool interrupted = false;
+};
+
+/** Runner config for one suite run, wired to the checkpointer. */
+harness::RunnerConfig
+suiteRunConfig(const Options &opt, const std::string &name,
+               vm::Tier tier, const harness::FaultInjector *faults,
+               SuiteCheckpointer *ckpt)
+{
+    Options o = opt;
+    o.workload = name;
+    harness::RunnerConfig cfg = makeConfig(o, tier, faults);
+    if (ckpt) {
+        cfg.checkpointEvery = opt.checkpointEvery;
+        cfg.onCheckpoint = [ckpt](const harness::RunResult &r) {
+            ckpt->writeInProgress(r);
+        };
+    }
+    return cfg;
+}
+
+/** Estimates and bookkeeping once both tier runs are complete. */
+void
+finishWorkloadState(harness::SuiteWorkloadState &ws,
+                    const harness::RunResult &interp,
+                    const harness::RunResult &jit)
+{
+    ws.quarantined = interp.quarantined || jit.quarantined;
+    ws.failureCount = static_cast<int>(interp.failures.size() +
+                                       jit.failures.size());
+    ws.modelledMs = interp.totalModelledMs() + jit.totalModelledMs();
+    if (interp.invocations.size() < 2 || jit.invocations.size() < 2) {
+        ws.failed = true;
+        return;
+    }
+    ws.interpMs = harness::rigorousEstimate(interp).ci.estimate;
+    ws.adaptiveMs = harness::rigorousEstimate(jit).ci.estimate;
+    ws.speedup = harness::rigorousSpeedup(interp, jit);
 }
 
 /**
@@ -502,38 +678,152 @@ loadSuiteState(const std::string &path, const Options &opt)
  * and quarantines are recorded in the returned state instead of
  * propagating, so one broken workload cannot sink the suite.
  */
-harness::SuiteWorkloadState
+SuiteStep
 runSuiteWorkload(const workloads::WorkloadSpec &w, const Options &opt,
-                 const harness::FaultInjector *faults)
+                 const harness::FaultInjector *faults,
+                 SuiteCheckpointer *ckpt)
 {
-    harness::SuiteWorkloadState ws;
-    ws.name = w.name;
+    SuiteStep step;
+    step.ws.name = w.name;
+    if (ckpt)
+        ckpt->beginWorkload(w.name);
     try {
-        Options o = opt;
-        o.workload = w.name;
         auto interp = harness::runExperiment(
-            w.name, makeConfig(o, vm::Tier::Interp, faults));
-        auto jit = harness::runExperiment(
-            w.name, makeConfig(o, vm::Tier::Adaptive, faults));
-        ws.quarantined = interp.quarantined || jit.quarantined;
-        ws.failureCount = static_cast<int>(interp.failures.size() +
-                                           jit.failures.size());
-        ws.modelledMs =
-            interp.totalModelledMs() + jit.totalModelledMs();
-        if (interp.invocations.size() < 2 ||
-            jit.invocations.size() < 2) {
-            ws.failed = true;
-            return ws;
+            w, suiteRunConfig(opt, w.name, vm::Tier::Interp, faults,
+                              ckpt));
+        if (interp.interrupted) {
+            step.interrupted = true;
+            return step;
         }
-        ws.interpMs = harness::rigorousEstimate(interp).ci.estimate;
-        ws.adaptiveMs = harness::rigorousEstimate(jit).ci.estimate;
-        ws.speedup = harness::rigorousSpeedup(interp, jit);
+        if (ckpt)
+            ckpt->setInterpDone(&interp);
+        auto jit = harness::runExperiment(
+            w, suiteRunConfig(opt, w.name, vm::Tier::Adaptive, faults,
+                              ckpt));
+        if (ckpt)
+            ckpt->endWorkload();
+        if (jit.interrupted) {
+            step.interrupted = true;
+            return step;
+        }
+        finishWorkloadState(step.ws, interp, jit);
     } catch (const std::exception &e) {
+        if (ckpt)
+            ckpt->endWorkload();
         logTraced(opt, LogLevel::Warn, "workload %s failed: %s",
                   w.name.c_str(), e.what());
-        ws.failed = true;
+        step.ws.failed = true;
     }
-    return ws;
+    return step;
+}
+
+/** A checkpointed run is done once every slot ran (or quarantine). */
+bool
+runComplete(const harness::RunResult &run, const Options &opt)
+{
+    return run.quarantined ||
+        run.invocationsAttempted >= opt.invocations;
+}
+
+/**
+ * When --trace is given on resume but the checkpoint carried no trace
+ * snapshot (the interrupted process ran without --trace), the restored
+ * partial run has no open workload span; open one so the span nesting
+ * resumeExperiment expects holds. The resulting trace is well formed
+ * but starts mid-suite — byte-identity needs identical flags across
+ * the interruption, which the config fingerprint cannot enforce for
+ * observability sinks.
+ */
+void
+ensureWorkloadSpanOpen(const Options &opt,
+                       const workloads::WorkloadSpec &w,
+                       const harness::RunResult &run)
+{
+    if (!opt.trace || opt.trace->openSpans() > 1)
+        return;
+    Json args = Json::object();
+    args.set("tier", vm::tierName(run.tier));
+    args.set("size", run.size);
+    opt.trace->beginSpan(w.name, "workload", std::move(args));
+}
+
+/**
+ * Continue the workload a checkpoint left in flight. The partial
+ * run(s) come from the checkpoint's in_progress record; invocation
+ * seeds are pure functions of (seed, slot, attempt), so extending the
+ * restored run reproduces exactly what the uninterrupted run would
+ * have measured — estimates, metrics and trace come out
+ * byte-identical.
+ */
+SuiteStep
+resumeSuiteWorkload(const workloads::WorkloadSpec &w,
+                    const Options &opt,
+                    const harness::FaultInjector *faults,
+                    SuiteCheckpointer *ckpt, const Json &ip)
+{
+    SuiteStep step;
+    step.ws.name = w.name;
+    if (ckpt)
+        ckpt->beginWorkload(w.name);
+    try {
+        auto interp = harness::runFromJson(ip.at("interp"));
+        if (!runComplete(interp, opt)) {
+            ensureWorkloadSpanOpen(opt, w, interp);
+            harness::resumeExperiment(
+                w,
+                suiteRunConfig(opt, w.name, vm::Tier::Interp, faults,
+                               ckpt),
+                interp);
+            if (interp.interrupted) {
+                step.interrupted = true;
+                return step;
+            }
+        }
+        // A restored-complete interp run still has its workload span
+        // open in the restored trace (the checkpoint fired at the
+        // final commit boundary, before the span closed); emit the
+        // close the uninterrupted run would have emitted. Only when
+        // the adaptive run had not started yet, though: once it has,
+        // the interp span was closed before the checkpoint and the
+        // open span belongs to the adaptive run.
+        const Json *aj = ip.get("adaptive");
+        if (opt.trace && !aj)
+            opt.trace->endSpansTo(1);
+        if (ckpt)
+            ckpt->setInterpDone(&interp);
+        harness::RunResult jit;
+        if (aj) {
+            jit = harness::runFromJson(*aj);
+            if (!runComplete(jit, opt)) {
+                ensureWorkloadSpanOpen(opt, w, jit);
+                harness::resumeExperiment(
+                    w,
+                    suiteRunConfig(opt, w.name, vm::Tier::Adaptive,
+                                   faults, ckpt),
+                    jit);
+            }
+            if (opt.trace && !jit.interrupted)
+                opt.trace->endSpansTo(1);
+        } else {
+            jit = harness::runExperiment(
+                w, suiteRunConfig(opt, w.name, vm::Tier::Adaptive,
+                                  faults, ckpt));
+        }
+        if (ckpt)
+            ckpt->endWorkload();
+        if (jit.interrupted) {
+            step.interrupted = true;
+            return step;
+        }
+        finishWorkloadState(step.ws, interp, jit);
+    } catch (const std::exception &e) {
+        if (ckpt)
+            ckpt->endWorkload();
+        logTraced(opt, LogLevel::Warn, "workload %s failed: %s",
+                  w.name.c_str(), e.what());
+        step.ws.failed = true;
+    }
+    return step;
 }
 
 int
@@ -544,20 +834,52 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
     state.invocations = opt.invocations;
     state.iterations = opt.iterations;
 
+    std::unique_ptr<SuiteCheckpointer> ckpt;
+    Json inProgress;  // null unless a checkpoint left a run in flight
     bool resuming = false;
     if (!opt.resumePath.empty()) {
-        std::ifstream probe(opt.resumePath);
-        if (probe.good()) {
-            state = loadSuiteState(opt.resumePath, opt);
+        ckpt = std::make_unique<SuiteCheckpointer>(opt, state);
+        if (stateFileExists(opt.resumePath)) {
+            StateLoad load = loadStateFile(opt.resumePath);
+            if (load.usedBackup)
+                warn("%s", load.warning.c_str());
+            const Json &payload = load.payload;
+            if (!payload.has("kind") ||
+                payload.at("kind").asString() != "suite")
+                fatal("%s does not hold suite resume state",
+                      opt.resumePath.c_str());
+            Json current = configJson(opt);
+            if (payload.at("config").dump() != current.dump())
+                fatal("%s was recorded with a different "
+                      "configuration; refusing to mix incomparable "
+                      "measurements\n  recorded: %s\n  current:  %s",
+                      opt.resumePath.c_str(),
+                      payload.at("config").dump().c_str(),
+                      current.dump().c_str());
+            state = harness::suiteStateFromJson(payload.at("suite"));
+            if (opt.metrics)
+                if (const Json *m = payload.get("metrics"))
+                    opt.metrics->restoreFromJson(*m);
+            if (opt.trace)
+                if (const Json *t = payload.get("trace"))
+                    opt.trace->restoreCheckpoint(*t);
+            if (const Json *ip = payload.get("in_progress"))
+                inProgress = *ip;
             resuming = true;
-            logTraced(opt, LogLevel::Info,
-                      "resuming from %s: %zu workload(s) already "
-                      "done",
-                      opt.resumePath.c_str(), state.workloads.size());
+            // Plain inform(), not logTraced(): the bookkeeping
+            // message must not land in the trace, or a resumed trace
+            // would differ from an uninterrupted one.
+            if (!opt.quiet)
+                inform("resuming from %s: %zu workload(s) already "
+                       "done%s",
+                       opt.resumePath.c_str(), state.workloads.size(),
+                       inProgress.isNull() ? ""
+                                           : ", one in progress");
         }
     }
 
-    if (opt.trace)
+    // A restored trace checkpoint already has the suite span open.
+    if (opt.trace && opt.trace->openSpans() == 0)
         opt.trace->beginSpan("suite", "harness");
 
     // Heartbeat bookkeeping: long sweeps print one progress line per
@@ -567,6 +889,7 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
     size_t done = 0;
     double modelledMsTotal = 0.0;
     int failuresTotal = 0;
+    bool interrupted = false;
     for (const auto &w : workloads::suite()) {
         ++done;
         if (resuming && state.find(w.name)) {
@@ -575,7 +898,32 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
             failuresTotal += ws->failureCount;
             continue;
         }
-        state.workloads.push_back(runSuiteWorkload(w, opt, faults));
+        // Poll between workloads too, so a signal caught outside a
+        // run (e.g. while estimates were computed) stops the suite
+        // before more measurement work starts.
+        if (interruptRequested()) {
+            interrupted = true;
+            break;
+        }
+        SuiteStep step;
+        if (!inProgress.isNull() &&
+            inProgress.at("name").asString() == w.name) {
+            Json ip = std::move(inProgress);
+            inProgress = Json();
+            step = resumeSuiteWorkload(w, opt, faults, ckpt.get(),
+                                       ip);
+        } else {
+            step = runSuiteWorkload(w, opt, faults, ckpt.get());
+        }
+        if (step.interrupted) {
+            // The final checkpoint was already written at the commit
+            // boundary that observed the interrupt (with the partial
+            // run attached); writing another here would capture
+            // post-run state instead.
+            interrupted = true;
+            break;
+        }
+        state.workloads.push_back(std::move(step.ws));
         const auto &ws = state.workloads.back();
         modelledMsTotal += ws.modelledMs;
         failuresTotal += ws.failureCount;
@@ -593,12 +941,12 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
             opt.metrics->gauge("suite.modelled_ms_total")
                 .set(modelledMsTotal);
         }
-        if (!opt.resumePath.empty())
-            writeSuiteState(opt.resumePath, state);
+        if (ckpt)
+            ckpt->writeCompleted();
     }
 
     if (opt.trace)
-        opt.trace->endSpan();
+        opt.trace->endSpansTo(0);
 
     Table t({"benchmark", "interp ms", "adaptive ms",
              "speedup (95% CI)", "sig"});
@@ -648,9 +996,21 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
                     ft.render().c_str());
     }
 
+    if (interrupted) {
+        if (!opt.quiet) {
+            if (!opt.resumePath.empty())
+                inform("interrupted; resume with: rigorbench suite "
+                       "--resume %s",
+                       opt.resumePath.c_str());
+            else
+                inform("interrupted; rerun with --resume FILE to "
+                       "make interruptions resumable");
+        }
+        return kExitInterrupted;
+    }
     // Partial results are a success; only a suite where *nothing*
     // could be measured exits nonzero.
-    return speedups.empty() ? 1 : 0;
+    return speedups.empty() ? kExitFailure : kExitSuccess;
 }
 
 /** Flush --metrics / --trace files after the command finished. */
@@ -658,18 +1018,14 @@ void
 writeObservability(const Options &opt)
 {
     if (opt.metrics && !opt.metricsPath.empty()) {
-        std::ofstream os(opt.metricsPath);
-        if (!os)
-            fatal("cannot write %s", opt.metricsPath.c_str());
-        os << opt.metrics->toJson().dump(2) << "\n";
+        atomicWriteFile(opt.metricsPath,
+                        opt.metrics->toJson().dump(2) + "\n");
         std::printf("wrote %s\n", opt.metricsPath.c_str());
     }
     if (opt.trace && !opt.tracePath.empty()) {
         opt.trace->endSpansTo(0);
-        std::ofstream os(opt.tracePath);
-        if (!os)
-            fatal("cannot write %s", opt.tracePath.c_str());
-        os << opt.trace->toJson().dump(1) << "\n";
+        atomicWriteFile(opt.tracePath,
+                        opt.trace->toJson().dump(1) + "\n");
         std::printf("wrote %s\n", opt.tracePath.c_str());
     }
 }
@@ -697,8 +1053,15 @@ dispatch(const Options &opt, const harness::FaultInjector *faults)
 int
 main(int argc, char **argv)
 {
+    installInterruptHandlers();
+    Options opt;
     try {
-        Options opt = parseArgs(argc, argv);
+        opt = parseArgs(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return kExitUsage;
+    }
+    try {
         if (opt.quiet)
             setQuiet(true);
         harness::FaultInjector injector(opt.faultPlan, opt.seed);
@@ -719,10 +1082,19 @@ main(int argc, char **argv)
             opt.trace = &trace;
 
         int rc = dispatch(opt, faults);
+        // Partial artifacts are flushed even after an interrupt, so
+        // what was measured is never lost.
         writeObservability(opt);
+        // stdout itself is an artifact consumers parse; a full disk
+        // or closed pipe must be a loud failure, not silence.
+        if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+            std::fprintf(stderr,
+                         "error: writing to stdout failed\n");
+            return kExitFailure;
+        }
         return rc;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return kExitFailure;
     }
 }
