@@ -129,6 +129,32 @@ BM_Bootstrap(benchmark::State &state)
 BENCHMARK(BM_Bootstrap)->Arg(200)->Arg(1000);
 
 void
+BM_HierarchicalRatio(benchmark::State &state)
+{
+    // Two-level samples shaped like a real run: 8 invocations of 20
+    // iterations each, mild between-invocation drift.
+    Rng rng(7);
+    std::vector<std::vector<double>> numer, denom;
+    for (int inv = 0; inv < 8; ++inv) {
+        std::vector<double> a, b;
+        double shift = 0.05 * inv;
+        for (int it = 0; it < 20; ++it) {
+            a.push_back(rng.nextGaussian(12.0 + shift, 0.4));
+            b.push_back(rng.nextGaussian(10.0 + shift, 0.4));
+        }
+        numer.push_back(std::move(a));
+        denom.push_back(std::move(b));
+    }
+    Rng boot(8);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::hierarchicalRatioInterval(
+            numer, denom, boot, 0.95,
+            static_cast<int>(state.range(0))));
+    }
+}
+BENCHMARK(BM_HierarchicalRatio)->Arg(200)->Arg(2000);
+
+void
 BM_SteadyStateDetect(benchmark::State &state)
 {
     Rng rng(4);

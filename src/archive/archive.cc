@@ -1,0 +1,297 @@
+#include "archive/archive.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "harness/report.hh"
+#include "support/durable_io.hh"
+#include "support/fingerprint.hh"
+#include "support/logging.hh"
+#include "support/schema.hh"
+#include "support/str.hh"
+
+namespace fs = std::filesystem;
+
+namespace rigor {
+namespace archive {
+
+namespace {
+
+constexpr const char *kEntryPrefix = "entry-";
+constexpr const char *kEntrySuffix = ".json";
+constexpr const char *kQuarantineSuffix = ".quarantined";
+
+/**
+ * Parse an entry id out of a filename of the exact form
+ * entry-NNNNNN.json; returns -1 for everything else (backups,
+ * temporaries, quarantined files, stray data).
+ */
+int
+entryIdFromName(const std::string &name)
+{
+    if (!startsWith(name, kEntryPrefix) ||
+        !endsWith(name, kEntrySuffix))
+        return -1;
+    std::string digits = name.substr(
+        std::strlen(kEntryPrefix),
+        name.size() - std::strlen(kEntryPrefix) -
+            std::strlen(kEntrySuffix));
+    if (digits.empty())
+        return -1;
+    int id = 0;
+    for (char c : digits) {
+        if (c < '0' || c > '9')
+            return -1;
+        id = id * 10 + (c - '0');
+    }
+    return id;
+}
+
+/**
+ * Any id-bearing filename, *including* quarantined and backup copies.
+ * append() uses this so a pruned-then-quarantined id is never reused
+ * for a new entry (refs must stay unambiguous forever).
+ */
+int
+anyIdFromName(std::string name)
+{
+    for (const char *suffix : {kQuarantineSuffix, ".bak", ".tmp"})
+        if (endsWith(name, suffix))
+            name.resize(name.size() - std::strlen(suffix));
+    return entryIdFromName(name);
+}
+
+/** Validate an entry payload's inner schema against this build. */
+void
+checkEntrySchema(const Json &payload, const std::string &path)
+{
+    const Json *schema = payload.get("schema");
+    if (!schema || schema->asString() != kArchiveEntrySchema)
+        fatal("%s is not a %s document", path.c_str(),
+              kArchiveEntrySchema);
+    int64_t v = payload.at("version").asInt();
+    if (v != kArchiveEntryVersion)
+        fatal("%s has %s version %lld; this build reads version %d",
+              path.c_str(), kArchiveEntrySchema,
+              static_cast<long long>(v), kArchiveEntryVersion);
+}
+
+EntrySummary
+summaryFromPayload(const Json &payload, int id,
+                   const std::string &path)
+{
+    EntrySummary s;
+    s.id = id;
+    s.path = path;
+    s.fingerprint = payload.at("fingerprint").asString();
+    if (const Json *label = payload.get("label"))
+        s.label = label->asString();
+    s.command = payload.at("command").asString();
+    s.runCount = static_cast<int>(payload.at("runs").size());
+    return s;
+}
+
+} // namespace
+
+RunArchive::RunArchive(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        fatal("archive directory must not be empty");
+}
+
+std::string
+RunArchive::entryPath(int id) const
+{
+    return dir_ + "/" + strprintf("%s%06d%s", kEntryPrefix, id,
+                                  kEntrySuffix);
+}
+
+int
+RunArchive::append(const Json &config, const std::string &label,
+                   const std::string &command,
+                   const std::vector<harness::RunResult> &runs)
+{
+    if (runs.empty())
+        fatal("refusing to archive an entry with no runs");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        fatal("cannot create archive directory %s: %s", dir_.c_str(),
+              ec.message().c_str());
+
+    int maxId = 0;
+    for (const auto &e : fs::directory_iterator(dir_, ec))
+        maxId = std::max(maxId,
+                         anyIdFromName(e.path().filename().string()));
+    if (ec)
+        fatal("cannot scan archive directory %s: %s", dir_.c_str(),
+              ec.message().c_str());
+    int id = maxId + 1;
+
+    Json payload = Json::object();
+    payload.set("schema", kArchiveEntrySchema);
+    payload.set("version", kArchiveEntryVersion);
+    payload.set("fingerprint", fingerprintJson(config));
+    if (!label.empty())
+        payload.set("label", label);
+    payload.set("command", command);
+    payload.set("config", config);
+    Json rs = Json::array();
+    for (const auto &r : runs)
+        rs.push(harness::runToJson(r));
+    payload.set("runs", std::move(rs));
+    writeStateFile(entryPath(id), payload);
+    return id;
+}
+
+ScanResult
+RunArchive::scan() const
+{
+    ScanResult out;
+    std::error_code ec;
+    std::vector<std::pair<int, std::string>> files;
+    for (const auto &e : fs::directory_iterator(dir_, ec)) {
+        std::string name = e.path().filename().string();
+        int id = entryIdFromName(name);
+        if (id >= 0)
+            files.emplace_back(id, e.path().string());
+    }
+    if (ec)
+        fatal("cannot scan archive directory %s: %s", dir_.c_str(),
+              ec.message().c_str());
+    std::sort(files.begin(), files.end());
+
+    for (const auto &[id, path] : files) {
+        try {
+            StateLoad load = loadStateFile(path);
+            if (load.usedBackup)
+                warn("%s", load.warning.c_str());
+            checkEntrySchema(load.payload, path);
+            out.entries.push_back(
+                summaryFromPayload(load.payload, id, path));
+        } catch (const FatalError &e) {
+            // Both the file and its backup are unusable (or its
+            // schema is foreign): quarantine instead of aborting the
+            // scan — one rotten entry must not hide the healthy rest
+            // of the archive. The rename keeps the bytes around for
+            // forensics while taking the file out of future scans.
+            std::string aside = path + kQuarantineSuffix;
+            if (std::rename(path.c_str(), aside.c_str()) == 0) {
+                warn("archive entry %s is unusable (%s); "
+                     "quarantined as %s",
+                     path.c_str(), e.what(), aside.c_str());
+                out.quarantined.push_back(aside);
+            } else {
+                warn("archive entry %s is unusable (%s) and could "
+                     "not be quarantined: %s",
+                     path.c_str(), e.what(), std::strerror(errno));
+            }
+        }
+    }
+    return out;
+}
+
+Entry
+RunArchive::load(const EntrySummary &summary) const
+{
+    StateLoad stateLoad = loadStateFile(summary.path);
+    if (stateLoad.usedBackup)
+        warn("%s", stateLoad.warning.c_str());
+    const Json &payload = stateLoad.payload;
+    checkEntrySchema(payload, summary.path);
+    Entry entry;
+    entry.summary = summaryFromPayload(payload, summary.id,
+                                       summary.path);
+    entry.config = payload.at("config");
+    const Json &rs = payload.at("runs");
+    for (size_t i = 0; i < rs.size(); ++i)
+        entry.runs.push_back(harness::runFromJson(rs.at(i)));
+    return entry;
+}
+
+Entry
+RunArchive::resolve(const std::string &ref) const
+{
+    ScanResult scanned = scan();
+    const auto &entries = scanned.entries;
+    if (entries.empty())
+        fatal("archive %s holds no usable entries", dir_.c_str());
+
+    const EntrySummary *hit = nullptr;
+    size_t back = 0;
+    bool isHead = ref == "HEAD";
+    if (!isHead && startsWith(ref, "HEAD~")) {
+        std::string digits = ref.substr(5);
+        isHead = !digits.empty() &&
+            digits.find_first_not_of("0123456789") ==
+                std::string::npos;
+        if (isHead)
+            back = static_cast<size_t>(
+                std::strtoul(digits.c_str(), nullptr, 10));
+    }
+    if (isHead) {
+        if (back >= entries.size())
+            fatal("ref '%s' reaches past the oldest of %zu "
+                  "archived entries",
+                  ref.c_str(), entries.size());
+        hit = &entries[entries.size() - 1 - back];
+    } else if (!ref.empty() &&
+               ref.find_first_not_of("0123456789") ==
+                   std::string::npos) {
+        int id = static_cast<int>(
+            std::strtol(ref.c_str(), nullptr, 10));
+        for (const auto &e : entries)
+            if (e.id == id)
+                hit = &e;
+        if (!hit)
+            fatal("no archive entry with id %d in %s", id,
+                  dir_.c_str());
+    } else {
+        // Labels may be re-used across entries; the newest wins, so a
+        // rolling label like "baseline" always names the latest run
+        // that was blessed with it.
+        for (const auto &e : entries)
+            if (e.label == ref)
+                hit = &e;
+        if (!hit) {
+            std::vector<std::string> labels;
+            for (const auto &e : entries)
+                if (!e.label.empty())
+                    labels.push_back(e.label);
+            fatal("no archive entry labeled '%s' in %s "
+                  "(labels: %s; ids 1..%d; HEAD/HEAD~N)",
+                  ref.c_str(), dir_.c_str(),
+                  labels.empty() ? "none"
+                                 : join(labels, ", ").c_str(),
+                  entries.back().id);
+        }
+    }
+    return load(*hit);
+}
+
+int
+RunArchive::prune(int keep)
+{
+    if (keep < 1)
+        fatal("prune must keep at least one entry (got %d)", keep);
+    ScanResult scanned = scan();
+    int removed = 0;
+    size_t n = scanned.entries.size();
+    for (size_t i = 0; i + static_cast<size_t>(keep) < n; ++i) {
+        const auto &e = scanned.entries[i];
+        std::error_code ec;
+        if (!fs::remove(e.path, ec) || ec)
+            fatal("cannot remove archive entry %s: %s",
+                  e.path.c_str(),
+                  ec ? ec.message().c_str() : "unknown error");
+        fs::remove(stateBackupPath(e.path), ec); // best-effort
+        ++removed;
+    }
+    return removed;
+}
+
+} // namespace archive
+} // namespace rigor

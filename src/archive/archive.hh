@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The run archive: an append-only, durable store of suite/run results
+ * that outlives the process that measured them.
+ *
+ * Every entry is one checksummed durable_io state envelope in the
+ * archive directory (`entry-NNNNNN.json`), holding the
+ * measurement-determining configuration, its fingerprint, and the
+ * full per-invocation/per-iteration samples of every run — enough to
+ * re-run any analysis offline, not just the summary numbers. Entries
+ * are never modified after the append; ids grow monotonically even
+ * across prunes, so a ref recorded in a lab notebook stays valid.
+ *
+ * A corrupted entry (truncated write, bit rot) is recovered from its
+ * `.bak` when one exists; when both copies are unusable the file is
+ * quarantined — renamed aside with a warning — and the scan
+ * continues, so one bad entry cannot take the whole archive down.
+ */
+
+#ifndef RIGOR_ARCHIVE_ARCHIVE_HH
+#define RIGOR_ARCHIVE_ARCHIVE_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/measurement.hh"
+#include "support/json.hh"
+
+namespace rigor {
+namespace archive {
+
+/** Identity and shape of one archived entry (no samples loaded). */
+struct EntrySummary
+{
+    /** Monotonic sequence number; never reused, even after prune. */
+    int id = 0;
+    /** Path of the entry file inside the archive directory. */
+    std::string path;
+    /** Fingerprint of the measurement-determining configuration. */
+    std::string fingerprint;
+    /** Optional user-chosen name ("" when unlabeled). */
+    std::string label;
+    /** Subcommand that produced the entry ("run" or "suite"). */
+    std::string command;
+    /** Number of archived (workload, tier) runs. */
+    int runCount = 0;
+};
+
+/** One fully-loaded archive entry. */
+struct Entry
+{
+    EntrySummary summary;
+    /** The configuration the fingerprint was computed from. */
+    Json config;
+    /** Full runs, in archived order (workload, then tier). */
+    std::vector<harness::RunResult> runs;
+};
+
+/** Outcome of scanning the archive directory. */
+struct ScanResult
+{
+    /** Valid entries in ascending id order. */
+    std::vector<EntrySummary> entries;
+    /** Files quarantined during this scan (renamed aside). */
+    std::vector<std::string> quarantined;
+};
+
+/**
+ * An archive rooted at one directory. Operations are deterministic:
+ * scans sort by id, so two scans of the same directory agree on every
+ * platform.
+ */
+class RunArchive
+{
+  public:
+    /** Open (without touching) the archive at `dir`. */
+    explicit RunArchive(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Append a new entry holding `runs` measured under `config`. The
+     * directory is created if missing; the entry is written through
+     * the durable_io envelope (atomic replace + CRC-32).
+     * @return the new entry's id.
+     * @throws FatalError on I/O failure or when runs is empty.
+     */
+    int append(const Json &config, const std::string &label,
+               const std::string &command,
+               const std::vector<harness::RunResult> &runs);
+
+    /**
+     * Scan the directory. Unreadable or corrupted entries (after the
+     * `.bak` fallback) are quarantined with a warning instead of
+     * aborting; entries whose inner schema is from a future build are
+     * skipped with a warning but left in place.
+     */
+    ScanResult scan() const;
+
+    /**
+     * Load one entry in full (samples included).
+     * @throws FatalError when the file is unusable or its schema
+     * does not match this build.
+     */
+    Entry load(const EntrySummary &summary) const;
+
+    /**
+     * Resolve a ref to a loaded entry. Accepted forms: "HEAD" (the
+     * newest entry), "HEAD~N" (N entries before the newest), a
+     * decimal id, or a label (the newest entry carrying it).
+     * @throws FatalError with the available refs when nothing
+     * matches.
+     */
+    Entry resolve(const std::string &ref) const;
+
+    /**
+     * Delete all but the newest `keep` valid entries (their `.bak`
+     * files included). Quarantined files are kept for forensics.
+     * @return the number of entries removed.
+     */
+    int prune(int keep);
+
+  private:
+    std::string entryPath(int id) const;
+
+    std::string dir_;
+};
+
+} // namespace archive
+} // namespace rigor
+
+#endif // RIGOR_ARCHIVE_ARCHIVE_HH

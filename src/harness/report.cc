@@ -5,6 +5,7 @@
 
 #include "support/csv.hh"
 #include "support/logging.hh"
+#include "support/schema.hh"
 #include "support/str.hh"
 
 namespace rigor {
@@ -94,6 +95,12 @@ sparkline(const std::vector<double> &values, int max_width)
 void
 writeSeriesCsv(std::ostream &os, const RunResult &run)
 {
+    // Self-describing artifact: a comment line names the schema and
+    // version before the column header, so an archived CSV can be
+    // identified (and rejected on mismatch) without guessing from its
+    // columns. Readers that choke on comments skip one line.
+    os << "# schema=" << kSeriesCsvSchema
+       << " version=" << kSeriesCsvVersion << "\n";
     CsvWriter csv(os);
     csv.writeRow({"workload", "tier", "invocation", "iteration",
                   "time_ms", "sim_cycles", "instructions", "ipc",
@@ -122,6 +129,8 @@ Json
 runToJson(const RunResult &run)
 {
     Json root = Json::object();
+    root.set("schema", kRunSchema);
+    root.set("version", kRunSchemaVersion);
     root.set("workload", run.workload);
     root.set("tier", std::string(vm::tierName(run.tier)));
     root.set("size", run.size);
@@ -143,8 +152,8 @@ runToJson(const RunResult &run)
         invs.push(std::move(j));
     }
     root.set("invocations", std::move(invs));
-    // Failure bookkeeping is only emitted when present, so dumps of
-    // clean runs are byte-identical to pre-fault-tolerance archives.
+    // Failure bookkeeping is only emitted when present, so clean
+    // dumps stay free of all-zero boilerplate.
     if (!run.failures.empty()) {
         Json fails = Json::array();
         for (const auto &f : run.failures) {
@@ -165,8 +174,7 @@ runToJson(const RunResult &run)
         static_cast<int>(run.invocations.size()))
         root.set("invocations_attempted", run.invocationsAttempted);
     // The consecutive-failure streak feeds quarantine accounting when
-    // a checkpointed run is extended; omitted when zero so clean dumps
-    // stay byte-identical to older archives.
+    // a checkpointed run is extended; omitted when zero.
     if (run.consecutiveFailures > 0)
         root.set("consecutive_failures", run.consecutiveFailures);
     if (run.quarantined) {
@@ -195,6 +203,21 @@ failureKindFromName(const std::string &name)
 RunResult
 runFromJson(const Json &doc)
 {
+    // Reject a document that *claims* to be something else or a
+    // future layout; accept documents with no schema field at all
+    // (artifacts from before runs were self-describing).
+    if (const Json *schema = doc.get("schema")) {
+        if (schema->asString() != kRunSchema)
+            fatal("runFromJson: document schema is '%s', expected "
+                  "'%s'",
+                  schema->asString().c_str(), kRunSchema);
+        int64_t v = doc.at("version").asInt();
+        if (v != kRunSchemaVersion)
+            fatal("runFromJson: unsupported %s version %lld (this "
+                  "build reads version %d)",
+                  kRunSchema, static_cast<long long>(v),
+                  kRunSchemaVersion);
+    }
     RunResult run;
     run.workload = doc.at("workload").asString();
     const std::string &tier = doc.at("tier").asString();

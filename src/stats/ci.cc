@@ -144,6 +144,93 @@ ratioOfMeansInterval(const std::vector<double> &numer,
     return ci;
 }
 
+namespace {
+
+/** Mean of per-invocation means of a two-level sample. */
+double
+meanOfMeans(const std::vector<std::vector<double>> &samples)
+{
+    double total = 0.0;
+    for (const auto &inv : samples) {
+        double s = 0.0;
+        for (double v : inv)
+            s += v;
+        total += s / static_cast<double>(inv.size());
+    }
+    return total / static_cast<double>(samples.size());
+}
+
+/**
+ * One hierarchical bootstrap replicate: resample invocations with
+ * replacement, then iterations within each chosen invocation, and
+ * return the replicate's mean of invocation means.
+ */
+double
+resampleMeanOfMeans(const std::vector<std::vector<double>> &samples,
+                    Rng &rng)
+{
+    size_t n = samples.size();
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const auto &inv = samples[rng.nextBounded(n)];
+        size_t m = inv.size();
+        double s = 0.0;
+        for (size_t j = 0; j < m; ++j)
+            s += inv[rng.nextBounded(m)];
+        total += s / static_cast<double>(m);
+    }
+    return total / static_cast<double>(n);
+}
+
+void
+validateTwoLevel(const char *what,
+                 const std::vector<std::vector<double>> &samples)
+{
+    if (samples.empty())
+        panic("hierarchicalRatioInterval: empty %s sample", what);
+    for (const auto &inv : samples)
+        if (inv.empty())
+            panic("hierarchicalRatioInterval: empty %s invocation",
+                  what);
+}
+
+} // namespace
+
+ConfidenceInterval
+hierarchicalRatioInterval(
+    const std::vector<std::vector<double>> &numer,
+    const std::vector<std::vector<double>> &denom, Rng &rng,
+    double confidence, int resamples)
+{
+    validateTwoLevel("numerator", numer);
+    validateTwoLevel("denominator", denom);
+    if (resamples < 10)
+        panic("hierarchicalRatioInterval: need at least 10 "
+              "resamples");
+
+    ConfidenceInterval ci;
+    ci.confidence = confidence;
+    double denomMean = meanOfMeans(denom);
+    if (denomMean == 0.0)
+        panic("hierarchicalRatioInterval: zero denominator mean");
+    ci.estimate = meanOfMeans(numer) / denomMean;
+
+    std::vector<double> ratios;
+    ratios.reserve(static_cast<size_t>(resamples));
+    for (int r = 0; r < resamples; ++r) {
+        double num = resampleMeanOfMeans(numer, rng);
+        double den = resampleMeanOfMeans(denom, rng);
+        // A replicate with a zero denominator (possible only for
+        // degenerate all-zero data) would poison the percentile; the
+        // zero-mean panic above already excludes the systematic case.
+        ratios.push_back(num / den);
+    }
+    double alpha = 1.0 - confidence;
+    ci.lower = percentile(ratios, 100.0 * alpha / 2.0);
+    ci.upper = percentile(ratios, 100.0 * (1.0 - alpha / 2.0));
+    return ci;
+}
+
 size_t
 requiredSampleSize(const std::vector<double> &xs,
                    double target_relative_half_width, double confidence)

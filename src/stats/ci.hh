@@ -72,6 +72,32 @@ ConfidenceInterval ratioOfMeansInterval(const std::vector<double> &numer,
                                         double confidence = 0.95);
 
 /**
+ * Hierarchical bootstrap confidence interval for the ratio
+ * mean-of-means(numer) / mean-of-means(denom) of two independent
+ * two-level samples (samples[i][j] = iteration j of invocation i).
+ *
+ * Each bootstrap replicate respects the invocation→iteration nesting:
+ * invocations are resampled with replacement first, then each chosen
+ * invocation's iterations are resampled with replacement *within* it,
+ * and the replicate statistic is the ratio of the two mean-of-means.
+ * Resampling iterations across invocations would treat correlated
+ * iterations as independent — exactly the naive-pooling mistake the
+ * methodology exists to avoid.
+ *
+ * The point estimate is the ratio of the original mean-of-means. The
+ * interval is the percentile interval of the replicates; with a given
+ * seeded Rng the result is bit-identical on every platform.
+ *
+ * @param numer two-level sample of the numerator (e.g. baseline ms).
+ * @param denom two-level sample of the denominator.
+ * @param rng seeded generator for resampling (reproducible).
+ */
+ConfidenceInterval hierarchicalRatioInterval(
+    const std::vector<std::vector<double>> &numer,
+    const std::vector<std::vector<double>> &denom,
+    Rng &rng, double confidence = 0.95, int resamples = 2000);
+
+/**
  * Number of additional samples estimated to shrink a t-interval to the
  * requested relative half-width, given the sample's current mean and
  * standard deviation (normal-approximation planning formula).

@@ -1,0 +1,26 @@
+#include "support/fingerprint.hh"
+
+#include "support/logging.hh"
+
+namespace rigor {
+
+uint64_t
+fnv1a64(std::string_view bytes)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+fingerprintJson(const Json &doc)
+{
+    return strprintf("%016llx",
+                     static_cast<unsigned long long>(
+                         fnv1a64(doc.dump())));
+}
+
+} // namespace rigor

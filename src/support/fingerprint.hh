@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Stable content fingerprints for configurations and string keys.
+ *
+ * The run archive keys every entry by a fingerprint of the
+ * measurement-determining configuration (workload set, tiers, seeds,
+ * jitThreshold, fault plan, schema version). Two entries with equal
+ * fingerprints were produced by byte-identical configurations, so
+ * comparing them answers "did performance change?" rather than "did
+ * the experiment change?". The hash must therefore be a pure function
+ * of the bytes — the same on every platform and in every process —
+ * which rules out std::hash.
+ */
+
+#ifndef RIGOR_SUPPORT_FINGERPRINT_HH
+#define RIGOR_SUPPORT_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/json.hh"
+
+namespace rigor {
+
+/** FNV-1a 64-bit hash of a byte string (stable across platforms). */
+uint64_t fnv1a64(std::string_view bytes);
+
+/**
+ * Fingerprint of a JSON document: FNV-1a 64 of its canonical compact
+ * dump (object keys sorted, round-trip-exact doubles), rendered as 16
+ * lower-case hex digits. Equal documents fingerprint equal on every
+ * platform; any semantic difference changes the dump and thus the
+ * fingerprint (modulo the 64-bit collision probability).
+ */
+std::string fingerprintJson(const Json &doc);
+
+} // namespace rigor
+
+#endif // RIGOR_SUPPORT_FINGERPRINT_HH

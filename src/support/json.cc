@@ -51,6 +51,14 @@ Json::set(const std::string &key, Json v)
     obj[key] = std::move(v);
 }
 
+void
+Json::erase(const std::string &key)
+{
+    if (type_ != Type::Object)
+        panic("Json::erase on non-object");
+    obj.erase(key);
+}
+
 size_t
 Json::size() const
 {

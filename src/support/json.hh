@@ -53,6 +53,8 @@ class Json
     void push(Json v);
     /** Set an object key (panics if not an object). */
     void set(const std::string &key, Json v);
+    /** Remove an object key if present (panics if not an object). */
+    void erase(const std::string &key);
 
     /** Array/object size. */
     size_t size() const;

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Artifact schema identifiers and versions.
+ *
+ * Every machine-readable artifact the framework emits (run JSON, CSV
+ * series, archive entries, compare reports) carries a `schema` name
+ * and a `version` so a reader can tell what it is holding *before*
+ * interpreting a single number. Consumers reject mismatches loudly
+ * instead of silently mis-parsing measurements from a different
+ * layout — the compare engine in particular refuses to put a number
+ * on two artifacts it cannot prove comparable.
+ *
+ * Versions bump when a field changes meaning or layout, not when an
+ * optional field is added (readers use Json::get for those).
+ */
+
+#ifndef RIGOR_SUPPORT_SCHEMA_HH
+#define RIGOR_SUPPORT_SCHEMA_HH
+
+namespace rigor {
+
+/** One experiment run as dumped by harness::runToJson / --json. */
+inline constexpr const char *kRunSchema = "rigorbench-run";
+inline constexpr int kRunSchemaVersion = 1;
+
+/** Per-iteration sample series as written by --csv. */
+inline constexpr const char *kSeriesCsvSchema = "rigorbench-series";
+inline constexpr int kSeriesCsvVersion = 1;
+
+/** One archived suite/run entry (archive::RunArchive). */
+inline constexpr const char *kArchiveEntrySchema =
+    "rigorbench-archive-entry";
+inline constexpr int kArchiveEntryVersion = 1;
+
+/** A compare/gate report (compare::reportToJson). */
+inline constexpr const char *kCompareReportSchema =
+    "rigorbench-compare";
+inline constexpr int kCompareReportVersion = 1;
+
+} // namespace rigor
+
+#endif // RIGOR_SUPPORT_SCHEMA_HH

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Run-archive tests: append/scan/load round-trips, ref resolution,
+ * fingerprint sensitivity, quarantine of corrupted entries, and prune
+ * semantics (ids are never reused).
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "archive/archive.hh"
+#include "support/durable_io.hh"
+#include "support/fingerprint.hh"
+#include "support/logging.hh"
+
+namespace rigor {
+namespace archive {
+namespace {
+
+/** Fresh scratch directory, removed on destruction. */
+class ScratchDir
+{
+  public:
+    ScratchDir()
+    {
+        char tmpl[] = "/tmp/rigor_archive_XXXXXX";
+        const char *d = ::mkdtemp(tmpl);
+        EXPECT_NE(d, nullptr);
+        dir_ = d ? d : ".";
+    }
+
+    ~ScratchDir()
+    {
+        std::string cmd = "rm -rf '" + dir_ + "'";
+        int rc = std::system(cmd.c_str());
+        (void)rc;
+    }
+
+    const std::string &dir() const { return dir_; }
+
+    std::string path(const std::string &name) const
+    {
+        return dir_ + "/" + name;
+    }
+
+  private:
+    std::string dir_;
+};
+
+harness::RunResult
+makeRun(const std::string &workload, double baseMs)
+{
+    harness::RunResult run;
+    run.workload = workload;
+    run.tier = vm::Tier::Interp;
+    run.size = 10;
+    for (int inv = 0; inv < 2; ++inv) {
+        harness::InvocationResult ir;
+        ir.invocationSeed = 10 + inv;
+        for (int it = 0; it < 3; ++it) {
+            harness::IterationSample s;
+            s.timeMs = baseMs + 0.01 * it;
+            ir.samples.push_back(s);
+        }
+        run.invocations.push_back(ir);
+    }
+    run.invocationsAttempted = 2;
+    return run;
+}
+
+Json
+makeConfig(int jitThreshold)
+{
+    Json c = Json::object();
+    c.set("jit_threshold", jitThreshold);
+    c.set("seed", "0xc0ffee");
+    return c;
+}
+
+TEST(Archive, AppendScanLoadRoundTrip)
+{
+    ScratchDir scratch;
+    RunArchive ar(scratch.dir());
+    int id1 = ar.append(makeConfig(100), "base", "run",
+                        {makeRun("sieve", 1.0)});
+    int id2 = ar.append(makeConfig(100), "", "suite",
+                        {makeRun("sieve", 1.1),
+                         makeRun("queens", 2.0)});
+    EXPECT_EQ(id1, 1);
+    EXPECT_EQ(id2, 2);
+
+    ScanResult scan = ar.scan();
+    ASSERT_EQ(scan.entries.size(), 2u);
+    EXPECT_TRUE(scan.quarantined.empty());
+    EXPECT_EQ(scan.entries[0].id, 1);
+    EXPECT_EQ(scan.entries[0].label, "base");
+    EXPECT_EQ(scan.entries[0].command, "run");
+    EXPECT_EQ(scan.entries[0].runCount, 1);
+    EXPECT_EQ(scan.entries[1].label, "");
+    EXPECT_EQ(scan.entries[1].runCount, 2);
+    // Same config, same fingerprint: compare can promise identity.
+    EXPECT_EQ(scan.entries[0].fingerprint,
+              scan.entries[1].fingerprint);
+
+    Entry e = ar.load(scan.entries[1]);
+    ASSERT_EQ(e.runs.size(), 2u);
+    EXPECT_EQ(e.runs[0].workload, "sieve");
+    EXPECT_EQ(e.runs[1].workload, "queens");
+    ASSERT_EQ(e.runs[0].invocations.size(), 2u);
+    EXPECT_DOUBLE_EQ(e.runs[0].invocations[0].samples[1].timeMs,
+                     1.11);
+    EXPECT_EQ(e.config.at("jit_threshold").asInt(), 100);
+}
+
+TEST(Archive, FingerprintTracksConfig)
+{
+    ScratchDir scratch;
+    RunArchive ar(scratch.dir());
+    ar.append(makeConfig(100), "", "run", {makeRun("sieve", 1.0)});
+    ar.append(makeConfig(999), "", "run", {makeRun("sieve", 1.0)});
+    ScanResult scan = ar.scan();
+    ASSERT_EQ(scan.entries.size(), 2u);
+    EXPECT_NE(scan.entries[0].fingerprint,
+              scan.entries[1].fingerprint);
+    // The fingerprint is a pure function of the canonical dump.
+    EXPECT_EQ(fingerprintJson(makeConfig(100)),
+              fingerprintJson(makeConfig(100)));
+}
+
+TEST(Archive, ResolvesHeadIdAndLabelRefs)
+{
+    ScratchDir scratch;
+    RunArchive ar(scratch.dir());
+    ar.append(makeConfig(1), "baseline", "run",
+              {makeRun("sieve", 1.0)});
+    ar.append(makeConfig(2), "", "run", {makeRun("sieve", 1.1)});
+    // A re-used label names the newest entry carrying it.
+    ar.append(makeConfig(3), "baseline", "run",
+              {makeRun("sieve", 1.2)});
+
+    EXPECT_EQ(ar.resolve("HEAD").summary.id, 3);
+    EXPECT_EQ(ar.resolve("HEAD~0").summary.id, 3);
+    EXPECT_EQ(ar.resolve("HEAD~2").summary.id, 1);
+    EXPECT_EQ(ar.resolve("2").summary.id, 2);
+    EXPECT_EQ(ar.resolve("baseline").summary.id, 3);
+
+    EXPECT_THROW(ar.resolve("HEAD~3"), FatalError);
+    EXPECT_THROW(ar.resolve("7"), FatalError);
+    EXPECT_THROW(ar.resolve("no-such-label"), FatalError);
+}
+
+TEST(Archive, EmptyArchiveAndEmptyAppendAreLoudErrors)
+{
+    ScratchDir scratch;
+    RunArchive ar(scratch.dir());
+    EXPECT_THROW(ar.resolve("HEAD"), FatalError);
+    EXPECT_THROW(ar.append(makeConfig(1), "", "run", {}),
+                 FatalError);
+}
+
+TEST(Archive, QuarantinesCorruptedEntriesAndKeepsScanning)
+{
+    ScratchDir scratch;
+    RunArchive ar(scratch.dir());
+    ar.append(makeConfig(1), "good", "run", {makeRun("sieve", 1.0)});
+
+    // Plant garbage where an entry should be (no .bak to fall back
+    // to): scan must quarantine it, not abort.
+    {
+        std::ofstream bad(scratch.path("entry-000002.json"));
+        bad << "{ this is not a durable envelope";
+    }
+    ScanResult scan = ar.scan();
+    ASSERT_EQ(scan.entries.size(), 1u);
+    EXPECT_EQ(scan.entries[0].label, "good");
+    ASSERT_EQ(scan.quarantined.size(), 1u);
+    EXPECT_NE(scan.quarantined[0].find(".quarantined"),
+              std::string::npos);
+    // The quarantined bytes survive for forensics...
+    std::ifstream aside(scan.quarantined[0]);
+    EXPECT_TRUE(aside.good());
+    // ...and later scans are clean (the file was renamed aside).
+    ScanResult again = ar.scan();
+    EXPECT_EQ(again.entries.size(), 1u);
+    EXPECT_TRUE(again.quarantined.empty());
+}
+
+TEST(Archive, TruncatedEntryFallsBackToBackupOrQuarantine)
+{
+    ScratchDir scratch;
+    RunArchive ar(scratch.dir());
+    ar.append(makeConfig(1), "v1", "run", {makeRun("sieve", 1.0)});
+    std::string p = scratch.path("entry-000001.json");
+
+    // Truncate the entry mid-file, as a crashed writer or bit rot
+    // would. With no .bak the file is unusable: quarantined.
+    {
+        std::ofstream trunc(p, std::ios::trunc);
+        trunc << "{\"format\":\"rigorbench-state\",\"ver";
+    }
+    ScanResult scan = ar.scan();
+    EXPECT_TRUE(scan.entries.empty());
+    ASSERT_EQ(scan.quarantined.size(), 1u);
+
+    // A fresh append still works and does not reuse the id.
+    int id = ar.append(makeConfig(1), "v2", "run",
+                       {makeRun("sieve", 1.0)});
+    EXPECT_EQ(id, 2);
+
+    // Now plant a verified backup next to a truncated entry: the
+    // loader recovers from the .bak and the entry survives the scan.
+    std::string p2 = scratch.path("entry-000002.json");
+    std::string content;
+    {
+        std::ifstream in(p2);
+        std::getline(in, content, '\0');
+    }
+    {
+        std::ofstream bak(stateBackupPath(p2));
+        bak << content;
+        std::ofstream trunc(p2, std::ios::trunc);
+        trunc << content.substr(0, content.size() / 2);
+    }
+    ScanResult recovered = ar.scan();
+    ASSERT_EQ(recovered.entries.size(), 1u);
+    EXPECT_EQ(recovered.entries[0].label, "v2");
+    EXPECT_TRUE(recovered.quarantined.empty());
+}
+
+TEST(Archive, PruneKeepsNewestAndNeverReusesIds)
+{
+    ScratchDir scratch;
+    RunArchive ar(scratch.dir());
+    for (int i = 0; i < 4; ++i)
+        ar.append(makeConfig(i), "", "run", {makeRun("sieve", 1.0)});
+
+    EXPECT_THROW(ar.prune(0), FatalError);
+    EXPECT_EQ(ar.prune(2), 2);
+    ScanResult scan = ar.scan();
+    ASSERT_EQ(scan.entries.size(), 2u);
+    EXPECT_EQ(scan.entries[0].id, 3);
+    EXPECT_EQ(scan.entries[1].id, 4);
+    // Pruning below the current count is a no-op...
+    EXPECT_EQ(ar.prune(10), 0);
+    // ...and new entries continue the sequence past pruned ids.
+    EXPECT_EQ(ar.append(makeConfig(9), "", "run",
+                        {makeRun("sieve", 1.0)}),
+              5);
+}
+
+} // namespace
+} // namespace archive
+} // namespace rigor

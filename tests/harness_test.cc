@@ -309,17 +309,49 @@ TEST(Report, CsvAndJsonExports)
     std::ostringstream os;
     writeSeriesCsv(os, run);
     std::string csv = os.str();
-    // Header + 2*3 rows.
-    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);
+    // Schema comment + header + 2*3 rows.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 8);
+    EXPECT_EQ(csv.rfind("# schema=rigorbench-series version=1\n", 0),
+              0u);
     EXPECT_NE(csv.find("queens,interp,0,0"), std::string::npos);
 
     Json j = runToJson(run);
     EXPECT_EQ(j.at("workload").asString(), "queens");
+    EXPECT_EQ(j.at("schema").asString(), "rigorbench-run");
+    EXPECT_EQ(j.at("version").asInt(), 1);
     EXPECT_EQ(j.at("invocations").size(), 2u);
     EXPECT_EQ(j.at("invocations").at(0).at("times_ms").size(), 3u);
     // Round-trips through the parser.
     Json parsed = Json::parse(j.dump(2));
     EXPECT_EQ(parsed.at("size").asInt(), run.size);
+}
+
+TEST(Report, RunFromJsonRejectsForeignSchema)
+{
+    auto cfg = withTestSize(smallConfig(vm::Tier::Interp), "queens");
+    cfg.invocations = 1;
+    cfg.iterations = 2;
+    RunResult run = runExperiment("queens", cfg);
+
+    // A matching schema round-trips.
+    Json ok = runToJson(run);
+    EXPECT_EQ(runFromJson(ok).workload, "queens");
+
+    // A different schema string is rejected loudly.
+    Json wrong = runToJson(run);
+    wrong.set("schema", "someone-elses-format");
+    EXPECT_THROW(runFromJson(wrong), FatalError);
+
+    // A future version of our own schema is rejected too.
+    Json future = runToJson(run);
+    future.set("version", static_cast<int64_t>(999));
+    EXPECT_THROW(runFromJson(future), FatalError);
+
+    // Schema-less documents (pre-schema artifacts) still load.
+    Json legacy = runToJson(run);
+    legacy.erase("schema");
+    legacy.erase("version");
+    EXPECT_EQ(runFromJson(legacy).workload, "queens");
 }
 
 TEST(RunResultTest, AggregationHelpers)

@@ -35,4 +35,8 @@ echo "== interrupt/resume smoke (SIGTERM mid-suite, byte-identity) =="
 bash tests/interrupt_resume_test.sh ./build/tools/rigorbench
 bash tests/interrupt_resume_test.sh ./build-asan/tools/rigorbench
 
+echo "== archive/compare/gate smoke (false + true positive) =="
+bash tests/archive_gate_test.sh ./build/tools/rigorbench
+bash tests/archive_gate_test.sh ./build-asan/tools/rigorbench
+
 echo "all checks passed"

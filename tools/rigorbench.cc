@@ -3,12 +3,16 @@
  * rigorbench — command-line front end to the framework.
  *
  *   rigorbench list
+ *   rigorbench env
  *   rigorbench disasm <workload>
  *   rigorbench run <workload> [options]
  *   rigorbench compare <workload> [options]
+ *   rigorbench compare <baseline> <candidate> --archive DIR
  *   rigorbench sequential <workload> [options]
  *   rigorbench profile <workload> [options]
  *   rigorbench suite [options]
+ *   rigorbench gate <baseline> [<candidate>] --archive DIR
+ *   rigorbench archive list|prune --archive DIR
  *   rigorbench help
  *
  * Common options:
@@ -51,12 +55,26 @@
  *                            workload; final artifacts are invariant
  *                            under the checkpoint cadence
  *
+ * Archive & comparison (see docs/METHODOLOGY.md §13):
+ *   --archive DIR            (run/suite) append the completed run(s)
+ *                            to the archive at DIR; (compare/gate/
+ *                            archive) the archive to operate on
+ *   --label NAME             label the appended entry
+ *   --resamples N            bootstrap resamples (default 2000)
+ *   --confidence C           interval confidence (default 0.95)
+ *   --gate-threshold PCT     gate regression threshold (default 5)
+ *   --keep N                 (archive prune) entries to keep
+ *
+ * Entry refs: HEAD (newest), HEAD~N, a decimal id, or a label.
+ *
  * Exit codes (stable; scripts may rely on them):
  *   0  success
  *   1  usage error (bad flags/arguments)
  *   2  runtime or suite failure (nothing measurable, I/O error)
  *   3  interrupted (SIGINT/SIGTERM); state is resumable when
  *      --resume was given
+ *   4  regression: gate found a workload slower than the baseline
+ *      beyond the threshold at the configured confidence
  */
 
 #include <cerrno>
@@ -68,6 +86,8 @@
 #include <string>
 #include <vector>
 
+#include "archive/archive.hh"
+#include "compare/compare.hh"
 #include "harness/analysis.hh"
 #include "harness/envcheck.hh"
 #include "harness/fault.hh"
@@ -79,6 +99,7 @@
 #include "support/interrupt.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
+#include "support/schema.hh"
 #include "support/str.hh"
 #include "support/table.hh"
 #include "support/trace.hh"
@@ -93,11 +114,15 @@ namespace {
 constexpr int kExitSuccess = 0;
 constexpr int kExitUsage = 1;
 constexpr int kExitFailure = 2;
+/** `gate` found a regression beyond the threshold. */
+constexpr int kExitRegression = 4;
 
 struct Options
 {
     std::string command;
     std::string workload;
+    /** Second positional (compare/gate candidate ref). */
+    std::string workload2;
     vm::Tier tier = vm::Tier::Interp;
     /** True once --tier was given (profile defaults differently). */
     bool tierSet = false;
@@ -121,6 +146,12 @@ struct Options
     int checkpointEvery = 0;
     std::string metricsPath;
     std::string tracePath;
+    std::string archiveDir;
+    std::string label;
+    int resamples = 2000;
+    double confidence = 0.95;
+    double gateThresholdPct = 5.0;
+    int keep = 0;
 
     // Observability sinks, shared by every run of the command
     // (not owned; set up in main when requested).
@@ -133,8 +164,26 @@ printUsage(std::FILE *out)
 {
     std::fprintf(
         out,
-        "usage: rigorbench <list|env|disasm|run|compare|"
-        "sequential|profile|suite|help> [workload] [options]\n"
+        "usage: rigorbench <command> [args] [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                      list the workload suite\n"
+        "  env                       report environment hygiene\n"
+        "  disasm <workload>         disassemble a workload\n"
+        "  run <workload>            measure one workload\n"
+        "  compare <workload>        interp-vs-adaptive speedup\n"
+        "  compare <base> <cand>     compare two archive entries\n"
+        "                            (needs --archive DIR)\n"
+        "  sequential <workload>     run until the CI is tight\n"
+        "  profile <workload>        per-opcode/JIT profile\n"
+        "  suite                     measure the whole suite\n"
+        "  gate <base> [<cand>]      fail (exit 4) on regression vs\n"
+        "                            base; cand defaults to HEAD\n"
+        "  archive list|prune        inspect / trim an archive\n"
+        "  help                      this text\n"
+        "\n"
+        "entry refs: HEAD, HEAD~N, a decimal id, or a --label name\n"
+        "\n"
         "options: --tier interp|adaptive --invocations N "
         "--iterations N --size N --jobs N\n"
         "         --seed S --jit-threshold N --target PCT "
@@ -142,7 +191,14 @@ printUsage(std::FILE *out)
         "         --inject SPEC --max-retries N --deadline-ms X "
         "--resume FILE\n"
         "         --checkpoint-every N --metrics FILE --trace FILE "
-        "--quiet\n");
+        "--quiet\n"
+        "         --archive DIR --label NAME --resamples N "
+        "--confidence C\n"
+        "         --gate-threshold PCT --keep N\n"
+        "\n"
+        "exit codes: 0 success, 1 usage error, 2 runtime failure,\n"
+        "            3 interrupted (resumable with --resume),\n"
+        "            4 regression detected by gate\n");
 }
 
 [[noreturn]] void
@@ -218,6 +274,8 @@ parseArgs(int argc, char **argv)
     int i = 2;
     if (i < argc && argv[i][0] != '-')
         opt.workload = argv[i++];
+    if (i < argc && argv[i][0] != '-')
+        opt.workload2 = argv[i++];
     for (; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&]() -> const char * {
@@ -282,6 +340,25 @@ parseArgs(int argc, char **argv)
         } else if (a == "--checkpoint-every") {
             opt.checkpointEvery = static_cast<int>(
                 parseInt("--checkpoint-every", next(), 1));
+        } else if (a == "--archive") {
+            opt.archiveDir = next();
+        } else if (a == "--label") {
+            opt.label = next();
+        } else if (a == "--resamples") {
+            opt.resamples = static_cast<int>(
+                parseInt("--resamples", next(), 10));
+        } else if (a == "--confidence") {
+            opt.confidence =
+                parseDouble("--confidence", next(), 1e-6);
+            if (opt.confidence >= 1.0)
+                fatal("--confidence must be < 1, got %g",
+                      opt.confidence);
+        } else if (a == "--gate-threshold") {
+            opt.gateThresholdPct =
+                parseDouble("--gate-threshold", next(), 0.0);
+        } else if (a == "--keep") {
+            opt.keep =
+                static_cast<int>(parseInt("--keep", next(), 1));
         } else {
             usage();
         }
@@ -290,6 +367,16 @@ parseArgs(int argc, char **argv)
         (opt.command != "suite" || opt.resumePath.empty()))
         fatal("--checkpoint-every requires 'suite' with --resume "
               "(checkpoints are written to the resume state file)");
+    // A resumed suite only re-measures what the interrupted process
+    // left unfinished; archiving it would record a partial picture of
+    // the suite as if it were complete.
+    if (!opt.archiveDir.empty() && !opt.resumePath.empty())
+        fatal("--archive cannot be combined with --resume; "
+              "archive the suite in a single uninterrupted run");
+    if (!opt.workload2.empty() && opt.command != "compare" &&
+        opt.command != "gate")
+        fatal("unexpected extra argument '%s'",
+              opt.workload2.c_str());
     return opt;
 }
 
@@ -313,6 +400,10 @@ makeConfig(const Options &opt, vm::Tier tier,
     cfg.trace = opt.trace;
     return cfg;
 }
+
+// Defined with the other archive plumbing below.
+void archiveAppend(const Options &opt,
+                   const std::vector<harness::RunResult> &runs);
 
 void
 dumpOutputs(const Options &opt, const harness::RunResult &run)
@@ -418,7 +509,13 @@ cmdRun(const Options &opt, const harness::FaultInjector *faults)
     dumpOutputs(opt, run);
     if (run.interrupted)
         return kExitInterrupted;
-    return run.invocations.empty() ? kExitFailure : kExitSuccess;
+    if (run.invocations.empty())
+        return kExitFailure;
+    // Only completed runs are archived: a partial run would later
+    // compare as if it were the whole measurement.
+    if (!opt.archiveDir.empty())
+        archiveAppend(opt, {run});
+    return kExitSuccess;
 }
 
 int
@@ -548,6 +645,46 @@ configJson(const Options &opt)
 }
 
 /**
+ * The archived configuration: the resume fingerprint plus what it
+ * leaves implicit — which workloads ran on which tiers, and the run
+ * schema version. Two entries with equal fingerprints measured the
+ * same experiment, so `compare` can promise that any difference is a
+ * performance change.
+ */
+Json
+archiveConfigJson(const Options &opt)
+{
+    Json c = configJson(opt);
+    c.set("schema_version", kRunSchemaVersion);
+    Json wls = Json::array();
+    Json tiers = Json::array();
+    if (opt.command == "suite") {
+        for (const auto &w : workloads::suite())
+            wls.push(w.name);
+        tiers.push(vm::tierName(vm::Tier::Interp));
+        tiers.push(vm::tierName(vm::Tier::Adaptive));
+    } else {
+        wls.push(opt.workload);
+        tiers.push(vm::tierName(opt.tier));
+    }
+    c.set("workloads", std::move(wls));
+    c.set("tiers", std::move(tiers));
+    return c;
+}
+
+/** Append completed runs to --archive DIR and say where they went. */
+void
+archiveAppend(const Options &opt,
+              const std::vector<harness::RunResult> &runs)
+{
+    archive::RunArchive ar(opt.archiveDir);
+    int id = ar.append(archiveConfigJson(opt), opt.label,
+                       opt.command, runs);
+    std::printf("archived as #%d in %s\n", id,
+                opt.archiveDir.c_str());
+}
+
+/**
  * Writes the suite's checksummed resume state (durable_io envelope).
  * A checkpoint captures everything a resumed process needs to
  * continue byte-identically: the completed-workload table, the
@@ -634,6 +771,8 @@ struct SuiteStep
     harness::SuiteWorkloadState ws;
     /** True when an interrupt stopped the measurement mid-way. */
     bool interrupted = false;
+    /** Full runs, kept only when the suite is being archived. */
+    std::vector<harness::RunResult> runs;
 };
 
 /** Runner config for one suite run, wired to the checkpointer. */
@@ -707,6 +846,10 @@ runSuiteWorkload(const workloads::WorkloadSpec &w, const Options &opt,
             return step;
         }
         finishWorkloadState(step.ws, interp, jit);
+        if (!opt.archiveDir.empty()) {
+            step.runs.push_back(std::move(interp));
+            step.runs.push_back(std::move(jit));
+        }
     } catch (const std::exception &e) {
         if (ckpt)
             ckpt->endWorkload();
@@ -890,6 +1033,7 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
     double modelledMsTotal = 0.0;
     int failuresTotal = 0;
     bool interrupted = false;
+    std::vector<harness::RunResult> archiveRuns;
     for (const auto &w : workloads::suite()) {
         ++done;
         if (resuming && state.find(w.name)) {
@@ -923,6 +1067,8 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
             interrupted = true;
             break;
         }
+        for (auto &r : step.runs)
+            archiveRuns.push_back(std::move(r));
         state.workloads.push_back(std::move(step.ws));
         const auto &ws = state.workloads.back();
         modelledMsTotal += ws.modelledMs;
@@ -1010,7 +1156,120 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
     }
     // Partial results are a success; only a suite where *nothing*
     // could be measured exits nonzero.
-    return speedups.empty() ? kExitFailure : kExitSuccess;
+    if (speedups.empty())
+        return kExitFailure;
+    if (!opt.archiveDir.empty() && !archiveRuns.empty())
+        archiveAppend(opt, archiveRuns);
+    return kExitSuccess;
+}
+
+compare::CompareConfig
+compareConfig(const Options &opt)
+{
+    compare::CompareConfig cfg;
+    cfg.confidence = opt.confidence;
+    cfg.resamples = opt.resamples;
+    cfg.seed = opt.seed;
+    return cfg;
+}
+
+/** Resolve both refs and run the comparison engine. */
+compare::CompareReport
+loadAndCompare(const Options &opt, const std::string &baseRef,
+               const std::string &candRef)
+{
+    if (opt.archiveDir.empty())
+        fatal("comparing archive entries requires --archive DIR");
+    archive::RunArchive ar(opt.archiveDir);
+    archive::Entry base = ar.resolve(baseRef);
+    archive::Entry cand = ar.resolve(candRef);
+    auto report =
+        compare::compareEntries(base, cand, compareConfig(opt));
+    report.baselineRef = baseRef;
+    report.candidateRef = candRef;
+    return report;
+}
+
+/** `compare <base> <cand> --archive DIR`: two archived entries. */
+int
+cmdArchiveCompare(const Options &opt)
+{
+    auto report = loadAndCompare(opt, opt.workload, opt.workload2);
+    std::printf("%s", compare::renderMarkdown(report).c_str());
+    if (!opt.jsonPath.empty()) {
+        atomicWriteFile(opt.jsonPath,
+                        compare::reportToJson(report).dump(2) + "\n");
+        std::printf("wrote %s\n", opt.jsonPath.c_str());
+    }
+    return kExitSuccess;
+}
+
+/** `gate <base> [<cand>] --archive DIR`: exit 4 on regression. */
+int
+cmdGate(const Options &opt)
+{
+    std::string candRef =
+        opt.workload2.empty() ? "HEAD" : opt.workload2;
+    auto report = loadAndCompare(opt, opt.workload, candRef);
+    auto gate = compare::evaluateGate(report, opt.gateThresholdPct);
+    std::printf("%s", compare::renderGate(gate, report).c_str());
+    if (!opt.jsonPath.empty()) {
+        Json root = compare::reportToJson(report);
+        Json g = Json::object();
+        g.set("pass", gate.pass);
+        g.set("threshold_pct", gate.thresholdPct);
+        Json regs = Json::array();
+        for (const auto &r : gate.regressions) {
+            Json j = Json::object();
+            j.set("workload", r.workload);
+            j.set("tier", r.tier);
+            j.set("slowdown_pct", r.slowdownPct);
+            regs.push(std::move(j));
+        }
+        g.set("regressions", std::move(regs));
+        root.set("gate", std::move(g));
+        atomicWriteFile(opt.jsonPath, root.dump(2) + "\n");
+        std::printf("wrote %s\n", opt.jsonPath.c_str());
+    }
+    return gate.pass ? kExitSuccess : kExitRegression;
+}
+
+/** `archive list|prune --archive DIR`: hygiene operations. */
+int
+cmdArchive(const Options &opt)
+{
+    if (opt.archiveDir.empty())
+        fatal("'archive %s' requires --archive DIR",
+              opt.workload.c_str());
+    archive::RunArchive ar(opt.archiveDir);
+    if (opt.workload == "list") {
+        archive::ScanResult scan = ar.scan();
+        Table t({"id", "label", "command", "runs", "fingerprint"});
+        for (const auto &e : scan.entries)
+            t.addRow({std::to_string(e.id),
+                      e.label.empty() ? "-" : e.label, e.command,
+                      std::to_string(e.runCount), e.fingerprint});
+        std::printf("%s", t.render().c_str());
+        std::printf("%zu entr%s in %s", scan.entries.size(),
+                    scan.entries.size() == 1 ? "y" : "ies",
+                    opt.archiveDir.c_str());
+        if (!scan.quarantined.empty())
+            std::printf(", %zu quarantined this scan",
+                        scan.quarantined.size());
+        std::printf("\n");
+        return kExitSuccess;
+    }
+    if (opt.workload == "prune") {
+        if (opt.keep < 1)
+            fatal("'archive prune' requires --keep N");
+        int removed = ar.prune(opt.keep);
+        std::printf("pruned %d entr%s from %s (kept newest %d)\n",
+                    removed, removed == 1 ? "y" : "ies",
+                    opt.archiveDir.c_str(), opt.keep);
+        return kExitSuccess;
+    }
+    fatal("unknown archive action '%s' (expected list or prune)",
+          opt.workload.c_str());
 }
 
 /** Flush --metrics / --trace files after the command finished. */
@@ -1037,8 +1296,20 @@ dispatch(const Options &opt, const harness::FaultInjector *faults)
         return cmdDisasm(opt);
     if (opt.command == "run")
         return cmdRun(opt, faults);
-    if (opt.command == "compare")
+    if (opt.command == "compare") {
+        // One positional: the legacy interp-vs-adaptive measurement.
+        // Two positionals: compare two archived entries.
+        if (!opt.workload2.empty())
+            return cmdArchiveCompare(opt);
+        if (!opt.archiveDir.empty())
+            fatal("compare with --archive takes two entry refs, "
+                  "e.g. 'compare HEAD~1 HEAD --archive DIR'");
         return cmdCompare(opt, faults);
+    }
+    if (opt.command == "gate")
+        return cmdGate(opt);
+    if (opt.command == "archive")
+        return cmdArchive(opt);
     if (opt.command == "sequential")
         return cmdSequential(opt, faults);
     if (opt.command == "profile")
