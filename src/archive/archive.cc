@@ -73,10 +73,12 @@ checkEntrySchema(const Json &payload, const std::string &path)
         fatal("%s is not a %s document", path.c_str(),
               kArchiveEntrySchema);
     int64_t v = payload.at("version").asInt();
-    if (v != kArchiveEntryVersion)
-        fatal("%s has %s version %lld; this build reads version %d",
+    if (v < kArchiveEntryMinVersion || v > kArchiveEntryVersion)
+        fatal("%s has %s version %lld; this build reads versions "
+              "%d..%d",
               path.c_str(), kArchiveEntrySchema,
-              static_cast<long long>(v), kArchiveEntryVersion);
+              static_cast<long long>(v), kArchiveEntryMinVersion,
+              kArchiveEntryVersion);
 }
 
 EntrySummary
@@ -91,6 +93,15 @@ summaryFromPayload(const Json &payload, int id,
         s.label = label->asString();
     s.command = payload.at("command").asString();
     s.runCount = static_cast<int>(payload.at("runs").size());
+    // v2 entries carry a profiles array aligned with runs; a v1
+    // entry (or a null slot) simply has no profile for that run.
+    if (const Json *profiles = payload.get("profiles"))
+        for (size_t i = 0; i < profiles->size(); ++i)
+            if (!profiles->at(i).isNull())
+                ++s.profileCount;
+    std::error_code ec;
+    uintmax_t size = fs::file_size(path, ec);
+    s.sizeBytes = ec ? 0 : static_cast<uint64_t>(size);
     return s;
 }
 
@@ -112,10 +123,14 @@ RunArchive::entryPath(int id) const
 int
 RunArchive::append(const Json &config, const std::string &label,
                    const std::string &command,
-                   const std::vector<harness::RunResult> &runs)
+                   const std::vector<harness::RunResult> &runs,
+                   const std::vector<Json> &profiles)
 {
     if (runs.empty())
         fatal("refusing to archive an entry with no runs");
+    if (!profiles.empty() && profiles.size() != runs.size())
+        fatal("profiles (%zu) do not align with runs (%zu)",
+              profiles.size(), runs.size());
     std::error_code ec;
     fs::create_directories(dir_, ec);
     if (ec)
@@ -143,6 +158,12 @@ RunArchive::append(const Json &config, const std::string &label,
     for (const auto &r : runs)
         rs.push(harness::runToJson(r));
     payload.set("runs", std::move(rs));
+    if (!profiles.empty()) {
+        Json ps = Json::array();
+        for (const auto &p : profiles)
+            ps.push(p);
+        payload.set("profiles", std::move(ps));
+    }
     writeStateFile(entryPath(id), payload);
     return id;
 }
@@ -209,6 +230,14 @@ RunArchive::load(const EntrySummary &summary) const
     const Json &rs = payload.at("runs");
     for (size_t i = 0; i < rs.size(); ++i)
         entry.runs.push_back(harness::runFromJson(rs.at(i)));
+    if (const Json *ps = payload.get("profiles")) {
+        for (size_t i = 0; i < ps->size(); ++i)
+            entry.profiles.push_back(ps->at(i));
+        // Keep the alignment invariant even for a short array
+        // written by a buggy producer: pad with nulls, never guess.
+        while (entry.profiles.size() < entry.runs.size())
+            entry.profiles.push_back(Json());
+    }
     return entry;
 }
 

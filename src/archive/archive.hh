@@ -44,6 +44,10 @@ struct EntrySummary
     std::string command;
     /** Number of archived (workload, tier) runs. */
     int runCount = 0;
+    /** Runs carrying a behavior profile (0 for legacy entries). */
+    int profileCount = 0;
+    /** On-disk size of the entry file in bytes. */
+    uint64_t sizeBytes = 0;
 };
 
 /** One fully-loaded archive entry. */
@@ -54,6 +58,13 @@ struct Entry
     Json config;
     /** Full runs, in archived order (workload, then tier). */
     std::vector<harness::RunResult> runs;
+    /**
+     * Behavior profiles aligned with `runs` (profiles[i] explains
+     * runs[i]; null for a run whose profile is missing). Empty for
+     * legacy (v1) entries — `explain` then degrades with a loud
+     * per-pair note instead of guessing.
+     */
+    std::vector<Json> profiles;
 };
 
 /** Outcome of scanning the archive directory. */
@@ -82,12 +93,16 @@ class RunArchive
      * Append a new entry holding `runs` measured under `config`. The
      * directory is created if missing; the entry is written through
      * the durable_io envelope (atomic replace + CRC-32).
+     * `profiles`, when non-empty, must align with `runs` (one
+     * behavior-profile document per run, explain::profileToJson).
      * @return the new entry's id.
-     * @throws FatalError on I/O failure or when runs is empty.
+     * @throws FatalError on I/O failure, when runs is empty, or on a
+     * profiles/runs length mismatch.
      */
     int append(const Json &config, const std::string &label,
                const std::string &command,
-               const std::vector<harness::RunResult> &runs);
+               const std::vector<harness::RunResult> &runs,
+               const std::vector<Json> &profiles = {});
 
     /**
      * Scan the directory. Unreadable or corrupted entries (after the

@@ -1,5 +1,6 @@
 #include "compare/compare.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
@@ -334,6 +335,13 @@ evaluateGate(const CompareReport &report, double thresholdPct)
         r.speedup = wc.speedup;
         gate.regressions.push_back(std::move(r));
     }
+    // Worst regression first, so the top of a failing CI log names
+    // the pair that matters most; ties keep (workload, tier) order.
+    std::stable_sort(gate.regressions.begin(),
+                     gate.regressions.end(),
+                     [](const Regression &a, const Regression &b) {
+                         return a.slowdownPct > b.slowdownPct;
+                     });
     gate.pass = gate.regressions.empty();
     return gate;
 }
@@ -356,9 +364,13 @@ renderGate(const GateResult &gate, const CompareReport &report)
                          report.workloads.size());
         return out;
     }
-    out += strprintf("FAIL: %zu pair(s) regressed beyond %s%%:\n",
+    const Regression &worst = gate.regressions.front();
+    out += strprintf("FAIL: %zu pair(s) regressed beyond %s%% "
+                     "(worst: %s/%s, %s%% slower):\n",
                      gate.regressions.size(),
-                     fmtDouble(gate.thresholdPct, 1).c_str());
+                     fmtDouble(gate.thresholdPct, 1).c_str(),
+                     worst.workload.c_str(), worst.tier.c_str(),
+                     fmtDouble(worst.slowdownPct, 1).c_str());
     for (const auto &r : gate.regressions)
         out += strprintf("  %s/%s: %s%% slower (speedup %s)\n",
                          r.workload.c_str(), r.tier.c_str(),

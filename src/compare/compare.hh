@@ -158,6 +158,7 @@ struct GateResult
 {
     bool pass = true;
     double thresholdPct = 0.0;
+    /** Failing pairs, worst (largest point slowdown) first. */
     std::vector<Regression> regressions;
 };
 

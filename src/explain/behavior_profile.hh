@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Behavior profiles: the compact per-(workload, tier) execution
+ * summary archived next to each run so a later `rigorbench explain`
+ * can attribute a measured time difference to behavior differences.
+ *
+ * A profile is a *pure function* of the committed RunResult (VM
+ * dynamic counters plus the summed per-iteration perf counters) and
+ * of the measurement-determining configuration. RunResults are
+ * already byte-identical across --jobs values (ordered commit), so
+ * profiles — and everything explain derives from them — inherit that
+ * guarantee for free. All accumulated fields are integer totals,
+ * which makes the aggregation order-independent by construction.
+ *
+ * Two windows coexist on purpose:
+ *  - `vm` totals and `ops` come from the VM's invocation-lifetime
+ *    statistics (module setup included);
+ *  - `counters` are the iteration-window perf-counter totals (module
+ *    setup excluded), the same window the reported times cover.
+ * The attribution arithmetic in explain.cc prefers the iteration
+ * window where it exists and says so where it cannot (see
+ * docs/METHODOLOGY.md §14).
+ */
+
+#ifndef RIGOR_EXPLAIN_BEHAVIOR_PROFILE_HH
+#define RIGOR_EXPLAIN_BEHAVIOR_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "support/json.hh"
+#include "uarch/counters.hh"
+
+namespace rigor {
+namespace explain {
+
+/** Dynamic totals for one opcode (invocation-lifetime window). */
+struct OpProfile
+{
+    /** Opcode name as printed by vm::opName. */
+    std::string op;
+    /** Dynamic execution count. */
+    uint64_t count = 0;
+    /** Micro-ops charged, interpreter-dispatch overhead included. */
+    uint64_t uops = 0;
+    /** Executions that went through interpreter dispatch. */
+    uint64_t dispatched = 0;
+    /** Guard (speculation) failures blamed on this opcode. */
+    uint64_t guardFailures = 0;
+};
+
+/** VM-level dynamic totals (invocation-lifetime window). */
+struct VmTotals
+{
+    uint64_t bytecodes = 0;
+    uint64_t uops = 0;
+    uint64_t calls = 0;
+    uint64_t allocations = 0;
+    uint64_t allocatedBytes = 0;
+    uint64_t dictLookups = 0;
+    uint64_t guardFailures = 0;
+    uint64_t jitCompiles = 0;
+    /** Uops charged for JIT compilation (subset of `uops`). */
+    uint64_t jitCompileUops = 0;
+};
+
+/**
+ * The performance-model parameters the attribution arithmetic needs.
+ * Embedded in the profile so `explain` always computes with the
+ * parameters the runs were *measured* under, not whatever the current
+ * build defaults to.
+ */
+struct ModelParams
+{
+    double issueWidth = 4.0;
+    uint32_t branchMissPenalty = 14;
+    uint32_t dispatchMissPenalty = 18;
+    double memOverlapFactor = 0.45;
+    uint32_t l1iMissPenalty = 10;
+    uint32_t l2HitCycles = 12;
+    uint32_t llcHitCycles = 40;
+    uint32_t dramCycles = 180;
+    double cyclesPerMs = 3.0e6;
+};
+
+/** The archived behavior profile of one (workload, tier) run. */
+struct BehaviorProfile
+{
+    std::string workload;
+    std::string tier;
+    /** Successful invocations the totals are summed over. */
+    uint64_t invocations = 0;
+    /** Successful iterations the totals are summed over. */
+    uint64_t iterations = 0;
+    VmTotals vm;
+    /** Per-opcode totals, in opcode-enum order, zero-count omitted. */
+    std::vector<OpProfile> ops;
+    /** Iteration-window perf-counter totals (setup excluded). */
+    uarch::CounterSet counters;
+    ModelParams model;
+};
+
+/**
+ * Build the profile of a committed run. Deterministic: integer sums
+ * over the ordered invocation list only.
+ */
+BehaviorProfile buildProfile(const harness::RunResult &run,
+                             const harness::RunnerConfig &config);
+
+/** Serialize (schema rigorbench-behavior-profile v1). */
+Json profileToJson(const BehaviorProfile &profile);
+
+/**
+ * Parse a profile back.
+ * @throws FatalError on schema/version mismatch.
+ */
+BehaviorProfile profileFromJson(const Json &j);
+
+} // namespace explain
+} // namespace rigor
+
+#endif // RIGOR_EXPLAIN_BEHAVIOR_PROFILE_HH

@@ -27,15 +27,33 @@ inline constexpr int kRunSchemaVersion = 1;
 inline constexpr const char *kSeriesCsvSchema = "rigorbench-series";
 inline constexpr int kSeriesCsvVersion = 1;
 
-/** One archived suite/run entry (archive::RunArchive). */
+/**
+ * One archived suite/run entry (archive::RunArchive).
+ *
+ * v1: fingerprint + config + runs.
+ * v2: adds an optional "profiles" array (behavior profiles aligned
+ *     with "runs"). Readers accept 1..kArchiveEntryVersion; v1
+ *     entries load with no profiles and `explain` degrades loudly.
+ */
 inline constexpr const char *kArchiveEntrySchema =
     "rigorbench-archive-entry";
-inline constexpr int kArchiveEntryVersion = 1;
+inline constexpr int kArchiveEntryVersion = 2;
+inline constexpr int kArchiveEntryMinVersion = 1;
 
 /** A compare/gate report (compare::reportToJson). */
 inline constexpr const char *kCompareReportSchema =
     "rigorbench-compare";
 inline constexpr int kCompareReportVersion = 1;
+
+/** A per-(workload, tier) behavior profile (explain::profileToJson). */
+inline constexpr const char *kBehaviorProfileSchema =
+    "rigorbench-behavior-profile";
+inline constexpr int kBehaviorProfileVersion = 1;
+
+/** A differential explain report (explain::reportToJson). */
+inline constexpr const char *kExplainReportSchema =
+    "rigorbench-explain";
+inline constexpr int kExplainReportVersion = 1;
 
 } // namespace rigor
 

@@ -189,6 +189,9 @@ Interp::accountBytecode(Op op, uint32_t uops, bool dispatched)
     ++stats_.bytecodes;
     stats_.uops += uops;
     ++stats_.perOp[static_cast<size_t>(op)];
+    stats_.perOpUops[static_cast<size_t>(op)] += uops;
+    if (dispatched)
+        ++stats_.perOpDispatched[static_cast<size_t>(op)];
     if (obs) {
         if (dispatched)
             obs->onDispatch(op);
@@ -1062,6 +1065,7 @@ Interp::jitCompile(const CodeObject *code, CodeRuntime &rt)
     uint64_t cost =
         cfg.jitCompileUopsPerInstr * code->instrs.size();
     stats_.uops += cost;
+    stats_.jitCompileUops += cost;
     if (obs)
         obs->onJitCompile(code->codeId, cost);
 }
@@ -1308,6 +1312,7 @@ Interp::evalFrame(Frame &frame)
                 uops += 1;
             } else {
                 ++stats_.guardFailures;
+                ++stats_.perOpGuards[static_cast<size_t>(op)];
                 if (obs)
                     obs->onGuardFailure(op);
                 Op generic = op == Op::AddIntInt ? Op::BinaryAdd
@@ -1332,6 +1337,7 @@ Interp::evalFrame(Frame &frame)
                 push(Value::makeFloat(r));
             } else {
                 ++stats_.guardFailures;
+                ++stats_.perOpGuards[static_cast<size_t>(op)];
                 if (obs)
                     obs->onGuardFailure(op);
                 Op generic = op == Op::AddFloatFloat ? Op::BinaryAdd
@@ -1396,6 +1402,7 @@ Interp::evalFrame(Frame &frame)
                 push(Value::makeBool(r));
             } else {
                 ++stats_.guardFailures;
+                ++stats_.perOpGuards[static_cast<size_t>(op)];
                 if (obs)
                     obs->onGuardFailure(op);
                 Op generic;
@@ -1484,6 +1491,7 @@ Interp::evalFrame(Frame &frame)
             if (op == Op::ForIterRange &&
                 iter->source != IteratorObj::Source::Range) {
                 ++stats_.guardFailures;
+                ++stats_.perOpGuards[static_cast<size_t>(op)];
                 if (obs)
                     obs->onGuardFailure(op);
                 uops = opBaseUops(Op::ForIter) + 2;

@@ -80,9 +80,20 @@ struct InterpStats
     uint64_t calls = 0;
     uint64_t guardFailures = 0;
     uint64_t jitCompiles = 0;
+    /** Uops charged for JIT compilation (included in `uops`). */
+    uint64_t jitCompileUops = 0;
     uint64_t dictLookups = 0;
     /** Dynamic count per opcode. */
     std::array<uint64_t, static_cast<size_t>(Op::NumOpcodes)> perOp{};
+    /** Uops charged per opcode (dispatch overhead included). */
+    std::array<uint64_t, static_cast<size_t>(Op::NumOpcodes)>
+        perOpUops{};
+    /** Interpreter-dispatched executions per opcode. */
+    std::array<uint64_t, static_cast<size_t>(Op::NumOpcodes)>
+        perOpDispatched{};
+    /** Guard (speculation) failures per opcode. */
+    std::array<uint64_t, static_cast<size_t>(Op::NumOpcodes)>
+        perOpGuards{};
 };
 
 /**

@@ -1,0 +1,194 @@
+#!/usr/bin/env bash
+# Differential-profiling integration test for the rigorbench CLI.
+#
+# Archives a JIT-active baseline and a de-JIT-ed candidate (the same
+# true-positive regression archive_gate_test.sh uses), then checks the
+# observability layer built on top:
+#   - `archive list` reports the profile column and entry sizes;
+#   - `explain` attributes the regression, leads with the expected
+#     component (branch: interpreter-dispatch mispredicts dominate a
+#     de-JIT), reports the JIT-compile evidence, and keeps the
+#     explicit unattributed remainder;
+#   - explain --json is byte-identical across repeats and across the
+#     --jobs value of the *source runs*;
+#   - `gate --explain` appends the attribution for the failing pair
+#     and still exits 4;
+#   - a legacy entry without profiles degrades loudly, not silently.
+#
+# Usage: explain_cli_test.sh /path/to/rigorbench
+set -u
+
+BIN=${1:?usage: $0 /path/to/rigorbench}
+WORK=$(mktemp -d /tmp/rigor_explain_XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+ARCH="$WORK/archive"
+# Enough iterations for the JIT to dominate the steady state, so
+# disabling it is a large, attributable regression.
+RUN_FLAGS=(run richards --tier adaptive --invocations 4
+           --iterations 30 --seed 0xfeed --quiet)
+
+# --- archive baseline (at --jobs 1 and 4) and de-JIT-ed candidate ----
+"$BIN" "${RUN_FLAGS[@]}" --jobs 1 --archive "$ARCH" --label base \
+    >/dev/null 2>&1 || fail "archiving baseline failed (rc=$?)"
+"$BIN" "${RUN_FLAGS[@]}" --jobs 4 --archive "$ARCH" --label base4 \
+    >/dev/null 2>&1 || fail "archiving jobs-4 baseline failed (rc=$?)"
+"$BIN" "${RUN_FLAGS[@]}" --jobs 1 --jit-threshold 100000000 \
+    --archive "$ARCH" --label slow >/dev/null 2>&1 ||
+    fail "archiving candidate failed (rc=$?)"
+
+# --- archive list carries the profile and size columns ---------------
+"$BIN" archive list --archive "$ARCH" >"$WORK/list.txt" 2>&1 ||
+    fail "archive list exited $? (want 0)"
+grep -q "profile" "$WORK/list.txt" ||
+    fail "archive list has no profile column"
+grep -q "bytes" "$WORK/list.txt" ||
+    fail "archive list has no bytes column"
+grep -q "yes" "$WORK/list.txt" ||
+    fail "archive list does not mark profiled entries"
+
+# --- explain attributes the de-JIT regression ------------------------
+"$BIN" explain base slow --archive "$ARCH" >"$WORK/ex.md" 2>&1 ||
+    fail "explain exited $? (want 0)"
+grep -q "richards / adaptive" "$WORK/ex.md" ||
+    fail "explain lacks the pair section"
+grep -q "% slower" "$WORK/ex.md" ||
+    fail "explain does not report a slowdown"
+# A de-JIT-ed run pays for every bytecode through interpreter
+# dispatch: the mispredict (branch) component must lead the ranking,
+# i.e. be the first row of the component table.
+top=$(grep -A2 "^| component |" "$WORK/ex.md" | tail -1)
+echo "$top" | grep -q "| branch |" ||
+    fail "top component is not branch: $top"
+grep -q "unattributed remainder" "$WORK/ex.md" ||
+    fail "explain hides the unattributed remainder"
+grep -q "jit compiles" "$WORK/ex.md" ||
+    fail "explain lacks the jit-compile evidence"
+grep -Eq "jit compiles [1-9][0-9,]* → 0" "$WORK/ex.md" ||
+    fail "evidence does not show the JIT turning off"
+
+# --- explain --json: byte-identical across repeats -------------------
+"$BIN" explain base slow --archive "$ARCH" --json "$WORK/e1.json" \
+    >/dev/null 2>&1 || fail "explain --json exited $? (want 0)"
+"$BIN" explain base slow --archive "$ARCH" --json "$WORK/e2.json" \
+    >/dev/null 2>&1 || fail "repeated explain --json exited $?"
+cmp -s "$WORK/e1.json" "$WORK/e2.json" ||
+    fail "explain JSON differs across repeats"
+grep -q '"schema": "rigorbench-explain"' "$WORK/e1.json" ||
+    fail "explain JSON carries no schema field"
+
+# --- ... and across the --jobs value of the source runs --------------
+"$BIN" explain base4 slow --archive "$ARCH" --json "$WORK/e4.json" \
+    >/dev/null 2>&1 || fail "jobs-4 explain --json exited $?"
+# Entry ids/refs legitimately differ; every attribution number must
+# not. Compare the reports with refs and ids masked out.
+mask() {
+    sed -e 's/"ref": "[^"]*"/"ref": "X"/' \
+        -e 's/"id": [0-9]*/"id": 0/' "$1"
+}
+mask "$WORK/e1.json" >"$WORK/e1.masked"
+mask "$WORK/e4.json" >"$WORK/e4.masked"
+cmp -s "$WORK/e1.masked" "$WORK/e4.masked" ||
+    fail "explain attribution differs between jobs-1 and jobs-4 runs"
+
+# --- gate --explain appends the attribution on failure ---------------
+"$BIN" gate base slow --archive "$ARCH" --explain \
+    >"$WORK/gate.txt" 2>&1
+rc=$?
+[ "$rc" -eq 4 ] || fail "gate --explain exited $rc (want 4)"
+grep -q "FAIL" "$WORK/gate.txt" || fail "failing gate said no FAIL"
+grep -q "worst: richards/adaptive" "$WORK/gate.txt" ||
+    fail "gate summary does not lead with the worst pair"
+grep -q "richards / adaptive" "$WORK/gate.txt" ||
+    fail "gate --explain appended no attribution section"
+grep -q "unattributed remainder" "$WORK/gate.txt" ||
+    fail "gate --explain attribution lacks the remainder row"
+
+# --- a passing gate stays silent about attribution -------------------
+"$BIN" gate base base4 --archive "$ARCH" --explain \
+    >"$WORK/gate_ok.txt" 2>&1
+rc=$?
+[ "$rc" -eq 0 ] || fail "same-config gate exited $rc (want 0)"
+grep -q "unattributed" "$WORK/gate_ok.txt" &&
+    fail "passing gate printed attribution anyway"
+
+# --- legacy entry without profiles degrades loudly -------------------
+# Strip the profiles from the candidate entry in place, turning it
+# into a v1-era document (the archive accepts versions 1..2). The
+# surgery is purely textual — number tokens are never re-serialized,
+# so the payload CRC can be recomputed without matching the C++
+# float formatting.
+python3 - "$ARCH" <<'EOF' || fail "could not write legacy entry"
+import glob, sys, zlib
+
+path = sorted(glob.glob(sys.argv[1] + "/entry-*.json"))[-1]
+text = open(path).read()
+
+def match_end(s, i):
+    """Index of the bracket closing the value starting at s[i]."""
+    depth, instr, esc = 0, False, False
+    for j in range(i, len(s)):
+        c = s[j]
+        if instr:
+            if esc: esc = False
+            elif c == "\\": esc = True
+            elif c == '"': instr = False
+        elif c == '"':
+            instr = True
+        elif c in "{[":
+            depth += 1
+        elif c in "}]":
+            depth -= 1
+            if depth == 0:
+                return j
+    raise ValueError("unbalanced")
+
+# Extract the payload subtree verbatim.
+i = text.index('"payload": ') + len('"payload": ')
+payload = text[i:match_end(text, i) + 1]
+
+# Drop the profiles member (plus the comma before it; "profiles"
+# never sorts first in the payload object).
+i = payload.index('"profiles": ')
+end = match_end(payload, i + len('"profiles": '))
+j = i - 1
+while payload[j] in " \n\t":
+    j -= 1
+assert payload[j] == ","
+payload = payload[:j] + payload[end + 1:]
+assert payload.count('"version": 2') == 1
+payload = payload.replace('"version": 2', '"version": 1')
+
+# Compact exactly like Json::dump(-1): strip whitespace outside
+# strings (this also turns ': ' into ':').
+out, instr, esc = [], False, False
+for c in payload:
+    if instr:
+        out.append(c)
+        if esc: esc = False
+        elif c == "\\": esc = True
+        elif c == '"': instr = False
+    elif c not in " \n\t":
+        out.append(c)
+        if c == '"':
+            instr = True
+compact = "".join(out)
+
+crc = "%08x" % (zlib.crc32(compact.encode()) & 0xFFFFFFFF)
+open(path, "w").write(
+    '{"crc32":"%s","format":"rigorbench-state","payload":%s,'
+    '"version":1}' % (crc, compact))
+EOF
+"$BIN" explain base slow --archive "$ARCH" >"$WORK/legacy.md" 2>&1 ||
+    fail "explain on a legacy entry exited $? (want 0)"
+grep -q "NO PROFILE CAPTURED" "$WORK/legacy.md" ||
+    fail "legacy entry did not degrade loudly"
+grep -q "% slower" "$WORK/legacy.md" ||
+    fail "legacy degradation dropped the measured change"
+
+echo "explain_cli_test: OK"

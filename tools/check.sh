@@ -39,4 +39,8 @@ echo "== archive/compare/gate smoke (false + true positive) =="
 bash tests/archive_gate_test.sh ./build/tools/rigorbench
 bash tests/archive_gate_test.sh ./build-asan/tools/rigorbench
 
+echo "== explain smoke (attribution, byte-identity, gate --explain) =="
+bash tests/explain_cli_test.sh ./build/tools/rigorbench
+bash tests/explain_cli_test.sh ./build-asan/tools/rigorbench
+
 echo "all checks passed"

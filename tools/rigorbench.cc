@@ -12,6 +12,7 @@
  *   rigorbench profile <workload> [options]
  *   rigorbench suite [options]
  *   rigorbench gate <baseline> [<candidate>] --archive DIR
+ *   rigorbench explain <baseline> <candidate> --archive DIR
  *   rigorbench archive list|prune --archive DIR
  *   rigorbench help
  *
@@ -65,6 +66,16 @@
  *   --gate-threshold PCT     gate regression threshold (default 5)
  *   --keep N                 (archive prune) entries to keep
  *
+ * Differential profiling (see docs/METHODOLOGY.md §14):
+ *   explain A B              attribute the measured ratio of every
+ *                            paired (workload, tier) to opcode-mix,
+ *                            tier/deopt, branch and cache components
+ *                            (plus an explicit unattributed
+ *                            remainder), from the behavior profiles
+ *                            archived with each entry
+ *   --explain                (gate) append the per-pair attribution
+ *                            for every failing pair
+ *
  * Entry refs: HEAD (newest), HEAD~N, a decimal id, or a label.
  *
  * Exit codes (stable; scripts may rely on them):
@@ -88,6 +99,8 @@
 
 #include "archive/archive.hh"
 #include "compare/compare.hh"
+#include "explain/behavior_profile.hh"
+#include "explain/explain.hh"
 #include "harness/analysis.hh"
 #include "harness/envcheck.hh"
 #include "harness/fault.hh"
@@ -152,6 +165,8 @@ struct Options
     double confidence = 0.95;
     double gateThresholdPct = 5.0;
     int keep = 0;
+    /** `gate --explain`: attribute every failing pair. */
+    bool explainGate = false;
 
     // Observability sinks, shared by every run of the command
     // (not owned; set up in main when requested).
@@ -179,6 +194,9 @@ printUsage(std::FILE *out)
         "  suite                     measure the whole suite\n"
         "  gate <base> [<cand>]      fail (exit 4) on regression vs\n"
         "                            base; cand defaults to HEAD\n"
+        "  explain <base> <cand>     attribute the measured ratio to\n"
+        "                            behavior components\n"
+        "                            (needs --archive DIR)\n"
         "  archive list|prune        inspect / trim an archive\n"
         "  help                      this text\n"
         "\n"
@@ -194,7 +212,7 @@ printUsage(std::FILE *out)
         "--quiet\n"
         "         --archive DIR --label NAME --resamples N "
         "--confidence C\n"
-        "         --gate-threshold PCT --keep N\n"
+        "         --gate-threshold PCT --keep N --explain\n"
         "\n"
         "exit codes: 0 success, 1 usage error, 2 runtime failure,\n"
         "            3 interrupted (resumable with --resume),\n"
@@ -359,6 +377,8 @@ parseArgs(int argc, char **argv)
         } else if (a == "--keep") {
             opt.keep =
                 static_cast<int>(parseInt("--keep", next(), 1));
+        } else if (a == "--explain") {
+            opt.explainGate = true;
         } else {
             usage();
         }
@@ -374,9 +394,12 @@ parseArgs(int argc, char **argv)
         fatal("--archive cannot be combined with --resume; "
               "archive the suite in a single uninterrupted run");
     if (!opt.workload2.empty() && opt.command != "compare" &&
-        opt.command != "gate")
+        opt.command != "gate" && opt.command != "explain")
         fatal("unexpected extra argument '%s'",
               opt.workload2.c_str());
+    if (opt.explainGate && opt.command != "gate")
+        fatal("--explain only applies to 'gate' (use the 'explain' "
+              "command for a standalone report)");
     return opt;
 }
 
@@ -672,16 +695,32 @@ archiveConfigJson(const Options &opt)
     return c;
 }
 
-/** Append completed runs to --archive DIR and say where they went. */
+/**
+ * Append completed runs to --archive DIR and say where they went.
+ * Each run is archived with its behavior profile so a later
+ * `explain` can attribute measured differences; the profile is a
+ * pure function of the committed run, hence byte-identical across
+ * repeats and --jobs values. (--archive excludes --resume, so runs
+ * here always come from this process with live VM statistics.)
+ */
 void
 archiveAppend(const Options &opt,
               const std::vector<harness::RunResult> &runs)
 {
     archive::RunArchive ar(opt.archiveDir);
+    std::vector<Json> profiles;
+    for (const auto &r : runs) {
+        // Only the uarch/clock parameters matter for the profile;
+        // they are tier- and fault-independent.
+        harness::RunnerConfig cfg = makeConfig(opt, r.tier, nullptr);
+        profiles.push_back(
+            explain::profileToJson(explain::buildProfile(r, cfg)));
+    }
     int id = ar.append(archiveConfigJson(opt), opt.label,
-                       opt.command, runs);
-    std::printf("archived as #%d in %s\n", id,
-                opt.archiveDir.c_str());
+                       opt.command, runs, profiles);
+    std::printf("archived as #%d in %s (%zu run(s) with behavior "
+                "profiles)\n",
+                id, opt.archiveDir.c_str(), runs.size());
 }
 
 /**
@@ -1173,10 +1212,16 @@ compareConfig(const Options &opt)
     return cfg;
 }
 
-/** Resolve both refs and run the comparison engine. */
+/**
+ * Resolve both refs and run the comparison engine. When `baseOut` /
+ * `candOut` are given the resolved entries are handed back, so
+ * explain can reuse them without a second archive scan.
+ */
 compare::CompareReport
 loadAndCompare(const Options &opt, const std::string &baseRef,
-               const std::string &candRef)
+               const std::string &candRef,
+               archive::Entry *baseOut = nullptr,
+               archive::Entry *candOut = nullptr)
 {
     if (opt.archiveDir.empty())
         fatal("comparing archive entries requires --archive DIR");
@@ -1187,6 +1232,10 @@ loadAndCompare(const Options &opt, const std::string &baseRef,
         compare::compareEntries(base, cand, compareConfig(opt));
     report.baselineRef = baseRef;
     report.candidateRef = candRef;
+    if (baseOut)
+        *baseOut = std::move(base);
+    if (candOut)
+        *candOut = std::move(cand);
     return report;
 }
 
@@ -1204,15 +1253,51 @@ cmdArchiveCompare(const Options &opt)
     return kExitSuccess;
 }
 
+/** `explain <base> <cand> --archive DIR`: attribute the ratio. */
+int
+cmdExplain(const Options &opt)
+{
+    if (opt.workload2.empty())
+        fatal("explain takes two entry refs, e.g. 'explain HEAD~1 "
+              "HEAD --archive DIR'");
+    archive::Entry base, cand;
+    auto report =
+        loadAndCompare(opt, opt.workload, opt.workload2, &base,
+                       &cand);
+    auto ex = explain::explainEntries(base, cand, report);
+    std::printf("%s", explain::renderMarkdown(ex).c_str());
+    if (!opt.jsonPath.empty()) {
+        atomicWriteFile(opt.jsonPath,
+                        explain::reportToJson(ex).dump(2) + "\n");
+        std::printf("wrote %s\n", opt.jsonPath.c_str());
+    }
+    return kExitSuccess;
+}
+
 /** `gate <base> [<cand>] --archive DIR`: exit 4 on regression. */
 int
 cmdGate(const Options &opt)
 {
     std::string candRef =
         opt.workload2.empty() ? "HEAD" : opt.workload2;
-    auto report = loadAndCompare(opt, opt.workload, candRef);
+    archive::Entry base, cand;
+    auto report = loadAndCompare(opt, opt.workload, candRef, &base,
+                                 &cand);
     auto gate = compare::evaluateGate(report, opt.gateThresholdPct);
     std::printf("%s", compare::renderGate(gate, report).c_str());
+    if (opt.explainGate && !gate.pass) {
+        // Root-cause every failing pair, worst first (the gate's
+        // regression order), straight into the CI log.
+        auto ex = explain::explainEntries(base, cand, report);
+        std::printf("\n");
+        for (const auto &r : gate.regressions) {
+            const explain::PairExplanation *pe =
+                explain::findPair(ex, r.workload, r.tier);
+            if (pe)
+                std::printf("%s\n",
+                            explain::renderPair(*pe).c_str());
+        }
+    }
     if (!opt.jsonPath.empty()) {
         Json root = compare::reportToJson(report);
         Json g = Json::object();
@@ -1244,11 +1329,20 @@ cmdArchive(const Options &opt)
     archive::RunArchive ar(opt.archiveDir);
     if (opt.workload == "list") {
         archive::ScanResult scan = ar.scan();
-        Table t({"id", "label", "command", "runs", "fingerprint"});
-        for (const auto &e : scan.entries)
+        Table t({"id", "label", "command", "runs", "profile",
+                 "bytes", "fingerprint"});
+        for (const auto &e : scan.entries) {
+            // "profile" says whether `explain` can attribute this
+            // entry: every run profiled, some, or none (legacy v1).
+            const char *profile =
+                e.profileCount == 0 ? "no"
+                : e.profileCount >= e.runCount ? "yes"
+                                               : "partial";
             t.addRow({std::to_string(e.id),
                       e.label.empty() ? "-" : e.label, e.command,
-                      std::to_string(e.runCount), e.fingerprint});
+                      std::to_string(e.runCount), profile,
+                      fmtCount(e.sizeBytes), e.fingerprint});
+        }
         std::printf("%s", t.render().c_str());
         std::printf("%zu entr%s in %s", scan.entries.size(),
                     scan.entries.size() == 1 ? "y" : "ies",
@@ -1308,6 +1402,8 @@ dispatch(const Options &opt, const harness::FaultInjector *faults)
     }
     if (opt.command == "gate")
         return cmdGate(opt);
+    if (opt.command == "explain")
+        return cmdExplain(opt);
     if (opt.command == "archive")
         return cmdArchive(opt);
     if (opt.command == "sequential")
