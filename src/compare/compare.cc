@@ -86,13 +86,25 @@ steadySamples(const harness::RunResult &run)
 
 using RunKey = std::pair<std::string, std::string>;
 
-/** Runs of an entry keyed by (workload, tier); later duplicates win. */
+/**
+ * Runs of an entry keyed by (workload, tier); later duplicates win.
+ * With a tier filter (cross-tier pairing) only that tier's runs are
+ * kept, keyed under `display_tier` so both sides produce matching
+ * keys even though their runs are on different tiers.
+ */
 std::map<RunKey, const harness::RunResult *>
-runsByKey(const archive::Entry &entry)
+runsByKey(const archive::Entry &entry, const std::string &tier_filter,
+          const std::string &display_tier)
 {
     std::map<RunKey, const harness::RunResult *> out;
-    for (const auto &r : entry.runs)
-        out[{r.workload, vm::tierName(r.tier)}] = &r;
+    for (const auto &r : entry.runs) {
+        const char *tn = vm::tierName(r.tier);
+        if (!tier_filter.empty() && tier_filter != tn)
+            continue;
+        out[{r.workload,
+             tier_filter.empty() ? std::string(tn) : display_tier}] =
+            &r;
+    }
     return out;
 }
 
@@ -140,8 +152,24 @@ compareEntries(const archive::Entry &baseline,
     report.resamples = cfg.resamples;
     report.seed = cfg.seed;
 
-    auto baseRuns = runsByKey(baseline);
-    auto candRuns = runsByKey(candidate);
+    if (cfg.baselineTier.empty() != cfg.candidateTier.empty())
+        fatal("cross-tier comparison needs both tiers (got "
+              "baseline '%s', candidate '%s')",
+              cfg.baselineTier.c_str(), cfg.candidateTier.c_str());
+    // Validate loudly before filtering: a typo'd tier name would
+    // otherwise just filter everything out and report "no pairs".
+    if (!cfg.baselineTier.empty()) {
+        vm::tierFromName(cfg.baselineTier);
+        vm::tierFromName(cfg.candidateTier);
+    }
+    report.baselineTier = cfg.baselineTier;
+    report.candidateTier = cfg.candidateTier;
+    std::string display = cfg.baselineTier.empty()
+        ? std::string()
+        : cfg.baselineTier + "->" + cfg.candidateTier;
+
+    auto baseRuns = runsByKey(baseline, cfg.baselineTier, display);
+    auto candRuns = runsByKey(candidate, cfg.candidateTier, display);
 
     std::vector<double> pointSpeedups;
     for (const auto &[key, baseRun] : baseRuns) {
@@ -223,6 +251,12 @@ renderMarkdown(const CompareReport &report)
               "differences below mix the config change with any "
               "performance change.\n\n";
     }
+    if (!report.baselineTier.empty())
+        md += strprintf(
+            "Cross-tier pairing: baseline `%s` runs vs candidate "
+            "`%s` runs, paired by workload.\n\n",
+            report.baselineTier.c_str(),
+            report.candidateTier.c_str());
     md += strprintf(
         "%s%% hierarchical-bootstrap CIs (invocations, then "
         "iterations), %d resamples, seed %s.\n\n",
@@ -275,6 +309,12 @@ reportToJson(const CompareReport &report)
     root.set("confidence", report.confidence);
     root.set("resamples", report.resamples);
     root.set("seed", fmtSeed(report.seed));
+    // Only present for cross-tier reports, so by-tier reports stay
+    // byte-identical to those of earlier builds.
+    if (!report.baselineTier.empty()) {
+        root.set("baseline_tier", report.baselineTier);
+        root.set("candidate_tier", report.candidateTier);
+    }
 
     Json wls = Json::array();
     for (const auto &wc : report.workloads) {

@@ -46,6 +46,16 @@ struct CompareConfig
     int resamples = 2000;
     /** Master seed; per-pair resampling streams derive from it. */
     uint64_t seed = 0xc0ffee;
+    /**
+     * Cross-tier pairing. When both are set (tier names), the
+     * baseline entry contributes only its baselineTier runs and the
+     * candidate only its candidateTier runs, paired by workload alone
+     * — e.g. baselineTier="interp", candidateTier="threaded" asks
+     * "what does the threaded tier buy over the interpreter?". Empty
+     * (the default) keeps the by-(workload, tier) pairing. Setting
+     * only one of the two is an error.
+     */
+    std::string baselineTier, candidateTier;
 };
 
 /** What a speedup interval allows us to claim. */
@@ -118,6 +128,12 @@ struct CompareReport
     double confidence = 0.95;
     int resamples = 0;
     uint64_t seed = 0;
+    /**
+     * The cross-tier pairing this report was computed under (empty
+     * for the default by-(workload, tier) pairing). Pair tiers then
+     * read "baselineTier->candidateTier".
+     */
+    std::string baselineTier, candidateTier;
     /** Pairs in both entries, sorted by (workload, tier). */
     std::vector<WorkloadComparison> workloads;
     /** "(workload, tier)" keys present in only one entry. */

@@ -4,6 +4,7 @@
 #include "support/schema.hh"
 #include "uarch/cache.hh"
 #include "vm/code.hh"
+#include "vm/interp.hh"
 
 namespace rigor {
 namespace explain {
@@ -183,6 +184,9 @@ profileFromJson(const Json &j)
     BehaviorProfile p;
     p.workload = j.at("workload").asString();
     p.tier = j.at("tier").asString();
+    // Round-trip through tierFromName so an unknown tier string in an
+    // archived profile fails loudly instead of misattributing.
+    vm::tierFromName(p.tier);
     p.invocations = static_cast<uint64_t>(j.at("invocations").asInt());
     p.iterations = static_cast<uint64_t>(j.at("iterations").asInt());
 

@@ -291,9 +291,17 @@ explainEntries(const archive::Entry &baseline,
     auto baseProfiles = profilesByKey(baseline);
     auto candProfiles = profilesByKey(candidate);
     for (const auto &wc : report.workloads) {
-        auto key = std::make_pair(wc.workload, wc.tier);
-        auto ia = baseProfiles.find(key);
-        auto ib = candProfiles.find(key);
+        // Under cross-tier pairing the pair's display tier
+        // ("interp->threaded") matches no profile; each side's
+        // profile is keyed by its own tier.
+        auto ia = baseProfiles.find(std::make_pair(
+            wc.workload, report.baselineTier.empty()
+                             ? wc.tier
+                             : report.baselineTier));
+        auto ib = candProfiles.find(std::make_pair(
+            wc.workload, report.candidateTier.empty()
+                             ? wc.tier
+                             : report.candidateTier));
         bool haveA =
             ia != baseProfiles.end() && ia->second.iterations > 0;
         bool haveB =

@@ -4,6 +4,7 @@
 #include <array>
 #include <map>
 
+#include "harness/runner.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/str.hh"
@@ -115,6 +116,8 @@ profileWorkload(const workloads::WorkloadSpec &spec,
     vm::InterpConfig icfg;
     icfg.tier = config.tier;
     icfg.jitThreshold = config.jitThreshold;
+    if (config.tier == vm::Tier::Threaded)
+        icfg.dispatchUops = kThreadedDispatchUops;
     icfg.captureOutput = false;
     SplitMix64 sm(config.seed);
     icfg.hashSeed = sm.next();

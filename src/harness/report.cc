@@ -220,13 +220,7 @@ runFromJson(const Json &doc)
     }
     RunResult run;
     run.workload = doc.at("workload").asString();
-    const std::string &tier = doc.at("tier").asString();
-    if (tier == "adaptive")
-        run.tier = vm::Tier::Adaptive;
-    else if (tier == "interp")
-        run.tier = vm::Tier::Interp;
-    else
-        fatal("runFromJson: unknown tier '%s'", tier.c_str());
+    run.tier = vm::tierFromName(doc.at("tier").asString());
     run.size = doc.at("size").asInt();
 
     const Json &invs = doc.at("invocations");
@@ -287,6 +281,34 @@ runFromJson(const Json &doc)
     return run;
 }
 
+namespace {
+
+Json
+speedupToJson(const SpeedupResult &sp)
+{
+    Json s = Json::object();
+    s.set("estimate", sp.ci.estimate);
+    s.set("lower", sp.ci.lower);
+    s.set("upper", sp.ci.upper);
+    s.set("confidence", sp.ci.confidence);
+    s.set("significant", sp.significant);
+    return s;
+}
+
+SpeedupResult
+speedupFromJson(const Json &s)
+{
+    SpeedupResult sp;
+    sp.ci.estimate = s.at("estimate").asDouble();
+    sp.ci.lower = s.at("lower").asDouble();
+    sp.ci.upper = s.at("upper").asDouble();
+    sp.ci.confidence = s.at("confidence").asDouble();
+    sp.significant = s.at("significant").asBool();
+    return sp;
+}
+
+} // namespace
+
 const SuiteWorkloadState *
 SuiteState::find(const std::string &name) const
 {
@@ -316,13 +338,10 @@ suiteStateToJson(const SuiteState &state)
         if (!w.failed) {
             j.set("interp_ms", w.interpMs);
             j.set("adaptive_ms", w.adaptiveMs);
-            Json s = Json::object();
-            s.set("estimate", w.speedup.ci.estimate);
-            s.set("lower", w.speedup.ci.lower);
-            s.set("upper", w.speedup.ci.upper);
-            s.set("confidence", w.speedup.ci.confidence);
-            s.set("significant", w.speedup.significant);
-            j.set("speedup", std::move(s));
+            j.set("threaded_ms", w.threadedMs);
+            j.set("speedup", speedupToJson(w.speedup));
+            j.set("threaded_speedup",
+                  speedupToJson(w.threadedSpeedup));
         }
         wls.push(std::move(j));
     }
@@ -355,12 +374,13 @@ suiteStateFromJson(const Json &doc)
         if (!w.failed) {
             w.interpMs = j.at("interp_ms").asDouble();
             w.adaptiveMs = j.at("adaptive_ms").asDouble();
-            const Json &s = j.at("speedup");
-            w.speedup.ci.estimate = s.at("estimate").asDouble();
-            w.speedup.ci.lower = s.at("lower").asDouble();
-            w.speedup.ci.upper = s.at("upper").asDouble();
-            w.speedup.ci.confidence = s.at("confidence").asDouble();
-            w.speedup.significant = s.at("significant").asBool();
+            // Strict: pre-threaded-tier state files are rejected here
+            // (their measurements cover two tiers, not three; resuming
+            // would record a suite that never measured threaded).
+            w.threadedMs = j.at("threaded_ms").asDouble();
+            w.speedup = speedupFromJson(j.at("speedup"));
+            w.threadedSpeedup =
+                speedupFromJson(j.at("threaded_speedup"));
         }
         state.workloads.push_back(std::move(w));
     }

@@ -63,13 +63,17 @@ struct SuiteWorkloadState
     std::string name;
     bool failed = false;
     bool quarantined = false;
-    /** Invocation failures recorded across both tiers. */
+    /** Invocation failures recorded across all tiers. */
     int failureCount = 0;
-    /** Modelled ms spent measuring this workload (both tiers). */
+    /** Modelled ms spent measuring this workload (all tiers). */
     double modelledMs = 0.0;
     double interpMs = 0.0;
     double adaptiveMs = 0.0;
+    double threadedMs = 0.0;
+    /** Adaptive over interp. */
     SpeedupResult speedup;
+    /** Threaded over interp. */
+    SpeedupResult threadedSpeedup;
 };
 
 /**

@@ -96,7 +96,13 @@ runOneInvocation(const vm::Program &prog,
     icfg.aslrSeed = deriveSeed(inv_seed, 3, 0);
     icfg.captureOutput = false;
 
-    uarch::PerfModel model(config.uarch);
+    uarch::PerfModelConfig ucfg = config.uarch;
+    if (config.tier == vm::Tier::Threaded) {
+        icfg.dispatchUops = kThreadedDispatchUops;
+        ucfg.dispatchHistoryOps = kThreadedDispatchHistoryOps;
+    }
+
+    uarch::PerfModel model(ucfg);
     // The uarch model is the only observer on plain runs; metrics /
     // trace runs multiplex a MetricsObserver alongside it.
     vm::MetricsObserver mobs(

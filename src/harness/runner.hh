@@ -30,6 +30,19 @@ class FaultInjector;
  */
 inline constexpr int kDefaultJitThreshold = 4000;
 
+/**
+ * Dispatch parameters for the direct-threaded tier. Threaded code
+ * skips the bounds check, table load and shared re-branch of a switch
+ * loop: each handler ends in a single indirect jump (the operand
+ * fetch is already charged in the opcode base cost), so dispatch is
+ * 1 uop instead of 6. Each handler's own jump also gives the host
+ * branch predictor a per-opcode context, modelled as a deeper opcode
+ * history for the dispatch predictor. Applied by the runner/profiler
+ * whenever the configured tier is Tier::Threaded.
+ */
+inline constexpr uint32_t kThreadedDispatchUops = 1;
+inline constexpr unsigned kThreadedDispatchHistoryOps = 6;
+
 /** Configuration of one experiment run. */
 struct RunnerConfig
 {

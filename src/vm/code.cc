@@ -84,6 +84,8 @@ opName(Op op)
       case Op::ForIterRange: return "FOR_ITER_RANGE";
       case Op::LoadAttrCached: return "LOAD_ATTR_CACHED";
       case Op::LoadGlobalCached: return "LOAD_GLOBAL_CACHED";
+      case Op::LoadFastLoadFast: return "LOAD_FAST_LOAD_FAST";
+      case Op::LoadFastBinaryAdd: return "LOAD_FAST_BINARY_ADD";
       case Op::NumOpcodes: break;
     }
     return "?";
@@ -165,10 +167,19 @@ CodeObject::disassemble(int indent) const
             break;
           case Op::LoadFast:
           case Op::StoreFast:
+          case Op::LoadFastBinaryAdd:
             if (ins.arg >= 0 &&
                 static_cast<size_t>(ins.arg) < varNames.size())
                 out += "  (" +
                     varNames[static_cast<size_t>(ins.arg)] + ")";
+            break;
+          case Op::LoadFastLoadFast:
+            if ((ins.arg >> 16) >= 0 &&
+                static_cast<size_t>(ins.arg >> 16) < varNames.size() &&
+                static_cast<size_t>(ins.arg & 0xffff) < varNames.size())
+                out += "  (" +
+                    varNames[static_cast<size_t>(ins.arg >> 16)] + ", " +
+                    varNames[static_cast<size_t>(ins.arg & 0xffff)] + ")";
             break;
           default:
             break;

@@ -97,7 +97,7 @@ enum class Op : uint8_t
 
     ListAppend,       ///< arg: list's depth below TOS (comprehensions)
 
-    // ---- Quickened forms (adaptive tier only) ----
+    // ---- Quickened forms (adaptive/threaded tiers only) ----
     FirstQuickened,
     AddIntInt = FirstQuickened,
     SubIntInt,
@@ -113,6 +113,13 @@ enum class Op : uint8_t
     ForIterRange,     ///< arg: absolute target on exhaustion
     LoadAttrCached,   ///< arg: name index (uses inline cache)
     LoadGlobalCached, ///< arg: name index (uses inline cache)
+
+    // ---- Superinstructions (threaded tier only) ----
+    // Fused by threadedQuicken for the hottest adjacent pairs. A
+    // superinstruction accounts as ONE bytecode and skips the dead
+    // slot it absorbed (which quickening rewrites to Nop).
+    LoadFastLoadFast, ///< arg: (slot1 << 16) | slot2
+    LoadFastBinaryAdd,///< arg: local slot (then add, int fast path)
 
     NumOpcodes,
 };

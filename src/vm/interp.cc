@@ -13,7 +13,29 @@ namespace vm {
 const char *
 tierName(Tier t)
 {
-    return t == Tier::Interp ? "interp" : "adaptive";
+    // Exhaustive switch, no default: adding a Tier without updating
+    // this is a -Wswitch (-Werror) build break, not a silent
+    // mislabel. The old two-way ternary named every new tier
+    // "adaptive", which poisoned archives and resume files.
+    switch (t) {
+      case Tier::Interp: return "interp";
+      case Tier::Adaptive: return "adaptive";
+      case Tier::Threaded: return "threaded";
+    }
+    panic("unknown tier %d", static_cast<int>(t));
+}
+
+Tier
+tierFromName(const std::string &name)
+{
+    if (name == "interp")
+        return Tier::Interp;
+    if (name == "adaptive")
+        return Tier::Adaptive;
+    if (name == "threaded")
+        return Tier::Threaded;
+    fatal("unknown tier '%s' (expected interp|adaptive|threaded)",
+          name.c_str());
 }
 
 uint32_t
@@ -130,6 +152,12 @@ opBaseUops(Op op)
         return 3;
       case Op::LoadGlobalCached:
         return 2;
+      // Superinstructions: one dispatch covers two bytecodes, and the
+      // fused pair shares its operand staging.
+      case Op::LoadFastLoadFast:
+        return 3;
+      case Op::LoadFastBinaryAdd:
+        return 3;
       case Op::NumOpcodes:
         break;
     }
@@ -358,8 +386,14 @@ Interp::execCode(const CodeObject *code, std::vector<Value> locals,
             static_cast<uint64_t>(cfg.jitThreshold))
             jitCompile(code, *frame.runtime);
     }
-    frame.instrs = frame.runtime->compiled ? &frame.runtime->quickened
-                                           : &code->instrs;
+    // The threaded tier quickens eagerly: no warmup counter, just a
+    // cheap linear rewrite on the first entry of each code object.
+    if (cfg.tier == Tier::Threaded && !frame.runtime->threaded)
+        threadedQuicken(code, *frame.runtime);
+    frame.instrs =
+        frame.runtime->compiled || frame.runtime->threaded
+            ? &frame.runtime->quickened
+            : &code->instrs;
     frame.locals = std::move(locals);
     frame.nameSpace = name_space;
     frame.localsBase = simBrk;
@@ -1070,6 +1104,110 @@ Interp::jitCompile(const CodeObject *code, CodeRuntime &rt)
         obs->onJitCompile(code->codeId, cost);
 }
 
+void
+Interp::threadedQuicken(const CodeObject *code, CodeRuntime &rt)
+{
+    rt.quickened = code->instrs;
+    rt.caches.assign(code->instrs.size(), {});
+    size_t n = rt.quickened.size();
+
+    // A superinstruction consumes the slot after it, so it must never
+    // swallow a control-flow join: mark every jump target (including
+    // except-handler entry points) and refuse to fuse across one.
+    std::vector<bool> isTarget(n, false);
+    for (const auto &ins : code->instrs) {
+        if ((opIsJump(ins.op) || ins.op == Op::SetupExcept) &&
+            ins.arg >= 0 && static_cast<size_t>(ins.arg) < n)
+            isTarget[static_cast<size_t>(ins.arg)] = true;
+    }
+
+    // Pass 1: fuse the hottest adjacent pairs. The absorbed slot is
+    // rewritten to Nop (defensive: the superinstruction skips it with
+    // ++pc, and no jump can land there).
+    for (size_t i = 0; i + 1 < n; ++i) {
+        const Instr a = rt.quickened[i];
+        const Instr b = rt.quickened[i + 1];
+        if (a.op != Op::LoadFast || isTarget[i + 1])
+            continue;
+        if (b.op == Op::LoadFast && a.arg >= 0 && a.arg < 0x10000 &&
+            b.arg >= 0 && b.arg < 0x10000) {
+            rt.quickened[i] = {Op::LoadFastLoadFast,
+                               (a.arg << 16) | b.arg};
+            rt.quickened[i + 1] = {Op::Nop, 0};
+            ++i;  // the dead slot cannot start another pair
+        } else if (b.op == Op::BinaryAdd) {
+            rt.quickened[i] = {Op::LoadFastBinaryAdd, a.arg};
+            rt.quickened[i + 1] = {Op::Nop, 0};
+            ++i;
+        }
+    }
+
+    // Pass 2: specialize what is left generic (same opcode map as the
+    // adaptive tier, so both share the guarded fast-path handlers).
+    for (auto &ins : rt.quickened) {
+        switch (ins.op) {
+          case Op::BinaryAdd: ins.op = Op::AddIntInt; break;
+          case Op::BinarySub: ins.op = Op::SubIntInt; break;
+          case Op::BinaryMul: ins.op = Op::MulIntInt; break;
+          case Op::CompareLt: ins.op = Op::CompareLtIntInt; break;
+          case Op::CompareLe: ins.op = Op::CompareLeIntInt; break;
+          case Op::CompareGt: ins.op = Op::CompareGtIntInt; break;
+          case Op::CompareGe: ins.op = Op::CompareGeIntInt; break;
+          case Op::CompareEq: ins.op = Op::CompareEqIntInt; break;
+          case Op::ForIter: ins.op = Op::ForIterRange; break;
+          case Op::LoadAttr: ins.op = Op::LoadAttrCached; break;
+          case Op::LoadGlobal: ins.op = Op::LoadGlobalCached; break;
+          default:
+            break;
+        }
+    }
+
+    rt.threaded = true;
+    // Quickening is a linear pass, not a compile: charge a few uops
+    // per instruction through the jit counters so warmup analyses see
+    // the (small) tier-up cost.
+    ++stats_.jitCompiles;
+    uint64_t cost = cfg.quickenUopsPerInstr * code->instrs.size();
+    stats_.uops += cost;
+    stats_.jitCompileUops += cost;
+    if (obs)
+        obs->onJitCompile(code->codeId, cost);
+}
+
+/*
+ * Dispatch mechanism of the evaluation loop.
+ *
+ * On GCC/Clang the loop is direct-threaded: a static table maps each
+ * opcode to the address of its handler label and dispatch is a single
+ * computed goto, the classic CPython/Forth technique that gives the
+ * host branch predictor one indirect-jump site per handler instead of
+ * one shared site for the whole switch. Everywhere else (or with
+ * -DRIGOR_NO_COMPUTED_GOTO, which CI exercises) the exact same
+ * handler bodies compile as a portable switch. The macros keep both
+ * forms textually identical:
+ *
+ *   VM_SWITCH(op)   open dispatch on `op`
+ *   VM_CASE(Name)   handler entry for Op::Name
+ *   VM_BREAK        end of handler (falls through to accounting)
+ *   VM_SWITCH_END   close dispatch
+ *
+ * Every VM_CASE body must leave via VM_BREAK, continue, return or
+ * throw; in threaded mode falling off the end would run the next
+ * handler.
+ */
+#if defined(__GNUC__) && !defined(RIGOR_NO_COMPUTED_GOTO)
+#define RIGOR_DIRECT_THREADED 1
+#define VM_SWITCH(op) goto *kOpTargets[static_cast<size_t>(op)];
+#define VM_CASE(name) vm_tgt_##name:
+#define VM_BREAK goto vm_dispatch_done
+#define VM_SWITCH_END vm_dispatch_done:;
+#else
+#define VM_SWITCH(op) switch (op) {
+#define VM_CASE(name) case Op::name:
+#define VM_BREAK break
+#define VM_SWITCH_END }
+#endif
+
 Value
 Interp::evalFrame(Frame &frame)
 {
@@ -1083,6 +1221,95 @@ Interp::evalFrame(Frame &frame)
         stack.pop_back();
         return v;
     };
+
+#if RIGOR_DIRECT_THREADED
+    // Handler-label address table, indexed by Op. Order must match the
+    // Op enum exactly (FirstQuickened aliases AddIntInt, so it has no
+    // slot of its own); the trailing NumOpcodes slot keeps a stray
+    // encoding on the panic path rather than off the end of the table.
+    static const void *const kOpTargets[] = {
+        &&vm_tgt_Nop,
+        &&vm_tgt_LoadConst,
+        &&vm_tgt_LoadFast,
+        &&vm_tgt_StoreFast,
+        &&vm_tgt_LoadGlobal,
+        &&vm_tgt_StoreGlobal,
+        &&vm_tgt_LoadName,
+        &&vm_tgt_StoreName,
+        &&vm_tgt_LoadAttr,
+        &&vm_tgt_StoreAttr,
+        &&vm_tgt_LoadSubscr,
+        &&vm_tgt_StoreSubscr,
+        &&vm_tgt_DeleteSubscr,
+        &&vm_tgt_BinaryAdd,
+        &&vm_tgt_BinarySub,
+        &&vm_tgt_BinaryMul,
+        &&vm_tgt_BinaryDiv,
+        &&vm_tgt_BinaryFloorDiv,
+        &&vm_tgt_BinaryMod,
+        &&vm_tgt_BinaryPow,
+        &&vm_tgt_BinaryAnd,
+        &&vm_tgt_BinaryOr,
+        &&vm_tgt_BinaryXor,
+        &&vm_tgt_BinaryLshift,
+        &&vm_tgt_BinaryRshift,
+        &&vm_tgt_UnaryNeg,
+        &&vm_tgt_UnaryNot,
+        &&vm_tgt_CompareEq,
+        &&vm_tgt_CompareNe,
+        &&vm_tgt_CompareLt,
+        &&vm_tgt_CompareLe,
+        &&vm_tgt_CompareGt,
+        &&vm_tgt_CompareGe,
+        &&vm_tgt_CompareIn,
+        &&vm_tgt_CompareNotIn,
+        &&vm_tgt_Jump,
+        &&vm_tgt_PopJumpIfFalse,
+        &&vm_tgt_PopJumpIfTrue,
+        &&vm_tgt_JumpIfFalseOrPop,
+        &&vm_tgt_JumpIfTrueOrPop,
+        &&vm_tgt_GetIter,
+        &&vm_tgt_ForIter,
+        &&vm_tgt_Call,
+        &&vm_tgt_Return,
+        &&vm_tgt_Pop,
+        &&vm_tgt_Dup,
+        &&vm_tgt_DupTwo,
+        &&vm_tgt_RotTwo,
+        &&vm_tgt_RotThree,
+        &&vm_tgt_BuildList,
+        &&vm_tgt_BuildTuple,
+        &&vm_tgt_BuildDict,
+        &&vm_tgt_BuildSlice,
+        &&vm_tgt_UnpackSequence,
+        &&vm_tgt_MakeFunction,
+        &&vm_tgt_MakeClass,
+        &&vm_tgt_SetupExcept,
+        &&vm_tgt_PopExcept,
+        &&vm_tgt_Raise,
+        &&vm_tgt_ListAppend,
+        &&vm_tgt_AddIntInt,
+        &&vm_tgt_SubIntInt,
+        &&vm_tgt_MulIntInt,
+        &&vm_tgt_AddFloatFloat,
+        &&vm_tgt_SubFloatFloat,
+        &&vm_tgt_MulFloatFloat,
+        &&vm_tgt_CompareLtIntInt,
+        &&vm_tgt_CompareLeIntInt,
+        &&vm_tgt_CompareGtIntInt,
+        &&vm_tgt_CompareGeIntInt,
+        &&vm_tgt_CompareEqIntInt,
+        &&vm_tgt_ForIterRange,
+        &&vm_tgt_LoadAttrCached,
+        &&vm_tgt_LoadGlobalCached,
+        &&vm_tgt_LoadFastLoadFast,
+        &&vm_tgt_LoadFastBinaryAdd,
+        &&vm_tgt_NumOpcodes,
+    };
+    static_assert(sizeof(kOpTargets) / sizeof(kOpTargets[0]) ==
+                      static_cast<size_t>(Op::NumOpcodes) + 1,
+                  "dispatch table out of sync with the Op enum");
+#endif
 
     bool compiled = frame.runtime->compiled;
     const bool adaptive = cfg.tier == Tier::Adaptive;
@@ -1117,30 +1344,30 @@ Interp::evalFrame(Frame &frame)
         }
 
         try {
-        switch (op) {
-          case Op::Nop:
-            break;
+        VM_SWITCH(op)
+          VM_CASE(Nop)
+            VM_BREAK;
 
-          case Op::LoadConst:
+          VM_CASE(LoadConst)
             push(code->constants[static_cast<size_t>(ins.arg)]);
-            break;
+            VM_BREAK;
 
-          case Op::LoadFast:
+          VM_CASE(LoadFast)
             emitMem(frame.localsBase +
                         static_cast<uint64_t>(ins.arg) * 8,
                     8, false);
             push(locals[static_cast<size_t>(ins.arg)]);
-            break;
+            VM_BREAK;
 
-          case Op::StoreFast:
+          VM_CASE(StoreFast)
             emitMem(frame.localsBase +
                         static_cast<uint64_t>(ins.arg) * 8,
                     8, true);
             locals[static_cast<size_t>(ins.arg)] = pop();
-            break;
+            VM_BREAK;
 
-          case Op::LoadGlobal:
-          case Op::LoadGlobalCached: {
+          VM_CASE(LoadGlobal)
+          VM_CASE(LoadGlobalCached) {
             const Value &name =
                 code->names[static_cast<size_t>(ins.arg)];
             bool cheap = false;
@@ -1170,10 +1397,10 @@ Interp::evalFrame(Frame &frame)
                     code->nameStrings[static_cast<size_t>(ins.arg)] +
                     "' is not defined");
             }
-            break;
+            VM_BREAK;
           }
 
-          case Op::StoreGlobal: {
+          VM_CASE(StoreGlobal) {
             const Value &name =
                 code->names[static_cast<size_t>(ins.arg)];
             ++stats_.dictLookups;
@@ -1181,10 +1408,10 @@ Interp::evalFrame(Frame &frame)
                         ((name.hash(cfg.hashSeed) & 255) * 16),
                     16, true);
             globalsDict->set(name, pop());
-            break;
+            VM_BREAK;
           }
 
-          case Op::LoadName: {
+          VM_CASE(LoadName) {
             const Value &name =
                 code->names[static_cast<size_t>(ins.arg)];
             ++stats_.dictLookups;
@@ -1202,20 +1429,20 @@ Interp::evalFrame(Frame &frame)
                     "' is not defined");
             }
             push(*v);
-            break;
+            VM_BREAK;
           }
 
-          case Op::StoreName: {
+          VM_CASE(StoreName) {
             const Value &name =
                 code->names[static_cast<size_t>(ins.arg)];
             DictObj *ns =
                 frame.nameSpace ? frame.nameSpace : globalsDict;
             ns->set(name, pop());
-            break;
+            VM_BREAK;
           }
 
-          case Op::LoadAttr:
-          case Op::LoadAttrCached: {
+          VM_CASE(LoadAttr)
+          VM_CASE(LoadAttrCached) {
             Value obj = pop();
             const Value &name =
                 code->names[static_cast<size_t>(ins.arg)];
@@ -1235,62 +1462,62 @@ Interp::evalFrame(Frame &frame)
                 }
             }
             push(loadAttr(obj, name, frame, pc));
-            break;
+            VM_BREAK;
           }
 
-          case Op::StoreAttr: {
+          VM_CASE(StoreAttr) {
             Value val = pop();
             Value obj = pop();
             storeAttr(obj, code->names[static_cast<size_t>(ins.arg)],
                       val);
-            break;
+            VM_BREAK;
           }
 
-          case Op::LoadSubscr: {
+          VM_CASE(LoadSubscr) {
             Value idx = pop();
             Value obj = pop();
             push(loadSubscr(obj, idx));
-            break;
+            VM_BREAK;
           }
 
-          case Op::StoreSubscr: {
+          VM_CASE(StoreSubscr) {
             Value val = pop();
             Value idx = pop();
             Value obj = pop();
             storeSubscr(obj, idx, val);
-            break;
+            VM_BREAK;
           }
 
-          case Op::DeleteSubscr: {
+          VM_CASE(DeleteSubscr) {
             Value idx = pop();
             Value obj = pop();
             deleteSubscr(obj, idx);
-            break;
+            VM_BREAK;
           }
 
           // --- Generic binary / unary / compare ----------------------
-          case Op::BinaryAdd:
-          case Op::BinarySub:
-          case Op::BinaryMul:
-          case Op::BinaryDiv:
-          case Op::BinaryFloorDiv:
-          case Op::BinaryMod:
-          case Op::BinaryPow:
-          case Op::BinaryAnd:
-          case Op::BinaryOr:
-          case Op::BinaryXor:
-          case Op::BinaryLshift:
-          case Op::BinaryRshift: {
+          VM_CASE(BinaryAdd)
+          VM_CASE(BinarySub)
+          VM_CASE(BinaryMul)
+          VM_CASE(BinaryDiv)
+          VM_CASE(BinaryFloorDiv)
+          VM_CASE(BinaryMod)
+          VM_CASE(BinaryPow)
+          VM_CASE(BinaryAnd)
+          VM_CASE(BinaryOr)
+          VM_CASE(BinaryXor)
+          VM_CASE(BinaryLshift)
+          VM_CASE(BinaryRshift) {
             Value b = pop();
             Value a = pop();
             push(binaryOp(op, a, b));
-            break;
+            VM_BREAK;
           }
 
           // --- Quickened arithmetic with guards -----------------------
-          case Op::AddIntInt:
-          case Op::SubIntInt:
-          case Op::MulIntInt: {
+          VM_CASE(AddIntInt)
+          VM_CASE(SubIntInt)
+          VM_CASE(MulIntInt) {
             Value b = pop();
             Value a = pop();
             if (a.isInt() && b.isInt()) {
@@ -1321,12 +1548,12 @@ Interp::evalFrame(Frame &frame)
                 uops = opBaseUops(generic) + 4;
                 push(binaryOp(generic, a, b));
             }
-            break;
+            VM_BREAK;
           }
 
-          case Op::AddFloatFloat:
-          case Op::SubFloatFloat:
-          case Op::MulFloatFloat: {
+          VM_CASE(AddFloatFloat)
+          VM_CASE(SubFloatFloat)
+          VM_CASE(MulFloatFloat) {
             Value b = pop();
             Value a = pop();
             if (a.isFloat() && b.isFloat()) {
@@ -1346,10 +1573,10 @@ Interp::evalFrame(Frame &frame)
                 uops = opBaseUops(generic) + 4;
                 push(binaryOp(generic, a, b));
             }
-            break;
+            VM_BREAK;
           }
 
-          case Op::UnaryNeg: {
+          VM_CASE(UnaryNeg) {
             Value a = pop();
             if (a.isInt())
                 push(Value::makeInt(-a.asInt()));
@@ -1360,32 +1587,32 @@ Interp::evalFrame(Frame &frame)
             else
                 throw VmError("bad operand type for unary -: '" +
                               a.typeName() + "'");
-            break;
+            VM_BREAK;
           }
 
-          case Op::UnaryNot:
+          VM_CASE(UnaryNot)
             push(Value::makeBool(!pop().truthy()));
-            break;
+            VM_BREAK;
 
-          case Op::CompareEq:
-          case Op::CompareNe:
-          case Op::CompareLt:
-          case Op::CompareLe:
-          case Op::CompareGt:
-          case Op::CompareGe:
-          case Op::CompareIn:
-          case Op::CompareNotIn: {
+          VM_CASE(CompareEq)
+          VM_CASE(CompareNe)
+          VM_CASE(CompareLt)
+          VM_CASE(CompareLe)
+          VM_CASE(CompareGt)
+          VM_CASE(CompareGe)
+          VM_CASE(CompareIn)
+          VM_CASE(CompareNotIn) {
             Value b = pop();
             Value a = pop();
             push(compareOp(op, a, b));
-            break;
+            VM_BREAK;
           }
 
-          case Op::CompareLtIntInt:
-          case Op::CompareLeIntInt:
-          case Op::CompareGtIntInt:
-          case Op::CompareGeIntInt:
-          case Op::CompareEqIntInt: {
+          VM_CASE(CompareLtIntInt)
+          VM_CASE(CompareLeIntInt)
+          VM_CASE(CompareGtIntInt)
+          VM_CASE(CompareGeIntInt)
+          VM_CASE(CompareEqIntInt) {
             Value b = pop();
             Value a = pop();
             if (a.isInt() && b.isInt()) {
@@ -1420,11 +1647,11 @@ Interp::evalFrame(Frame &frame)
                 uops = opBaseUops(generic) + 4;
                 push(compareOp(generic, a, b));
             }
-            break;
+            VM_BREAK;
           }
 
           // --- Control flow ------------------------------------------
-          case Op::Jump: {
+          VM_CASE(Jump) {
             int32_t target = ins.arg;
             if (target <= static_cast<int32_t>(pc)) {
                 // Backward edge: hot-loop accounting for the JIT.
@@ -1439,53 +1666,53 @@ Interp::evalFrame(Frame &frame)
                 }
             }
             frame.pc = static_cast<size_t>(target);
-            break;
+            VM_BREAK;
           }
 
-          case Op::PopJumpIfFalse: {
+          VM_CASE(PopJumpIfFalse) {
             bool cond = pop().truthy();
             emitBranch(frame, pc, !cond);
             if (!cond)
                 frame.pc = static_cast<size_t>(ins.arg);
-            break;
+            VM_BREAK;
           }
 
-          case Op::PopJumpIfTrue: {
+          VM_CASE(PopJumpIfTrue) {
             bool cond = pop().truthy();
             emitBranch(frame, pc, cond);
             if (cond)
                 frame.pc = static_cast<size_t>(ins.arg);
-            break;
+            VM_BREAK;
           }
 
-          case Op::JumpIfFalseOrPop: {
+          VM_CASE(JumpIfFalseOrPop) {
             bool cond = stack.back().truthy();
             emitBranch(frame, pc, !cond);
             if (!cond)
                 frame.pc = static_cast<size_t>(ins.arg);
             else
                 stack.pop_back();
-            break;
+            VM_BREAK;
           }
 
-          case Op::JumpIfTrueOrPop: {
+          VM_CASE(JumpIfTrueOrPop) {
             bool cond = stack.back().truthy();
             emitBranch(frame, pc, cond);
             if (cond)
                 frame.pc = static_cast<size_t>(ins.arg);
             else
                 stack.pop_back();
-            break;
+            VM_BREAK;
           }
 
-          case Op::GetIter: {
+          VM_CASE(GetIter) {
             Value it = makeIterator(pop());
             push(std::move(it));
-            break;
+            VM_BREAK;
           }
 
-          case Op::ForIter:
-          case Op::ForIterRange: {
+          VM_CASE(ForIter)
+          VM_CASE(ForIterRange) {
             auto *iter =
                 static_cast<IteratorObj *>(stack.back().asObj());
             if (op == Op::ForIterRange &&
@@ -1520,11 +1747,11 @@ Interp::evalFrame(Frame &frame)
                     }
                 }
             }
-            break;
+            VM_BREAK;
           }
 
           // --- Calls --------------------------------------------------
-          case Op::Call: {
+          VM_CASE(Call) {
             size_t nargs = static_cast<size_t>(ins.arg);
             std::vector<Value> args;
             args.reserve(nargs);
@@ -1538,39 +1765,39 @@ Interp::evalFrame(Frame &frame)
             continue;  // already accounted
           }
 
-          case Op::Return: {
+          VM_CASE(Return) {
             Value result = pop();
             accountBytecode(op, uops, dispatched);
             return result;
           }
 
           // --- Stack shuffling ----------------------------------------
-          case Op::Pop:
+          VM_CASE(Pop)
             pop();
-            break;
-          case Op::Dup:
+            VM_BREAK;
+          VM_CASE(Dup)
             push(stack.back());
-            break;
-          case Op::DupTwo: {
+            VM_BREAK;
+          VM_CASE(DupTwo) {
             Value b = stack[stack.size() - 1];
             Value a = stack[stack.size() - 2];
             push(std::move(a));
             push(std::move(b));
-            break;
+            VM_BREAK;
           }
-          case Op::RotTwo:
+          VM_CASE(RotTwo)
             std::swap(stack[stack.size() - 1],
                       stack[stack.size() - 2]);
-            break;
-          case Op::RotThree: {
+            VM_BREAK;
+          VM_CASE(RotThree) {
             Value top = std::move(stack.back());
             stack.pop_back();
             stack.insert(stack.end() - 2, std::move(top));
-            break;
+            VM_BREAK;
           }
 
           // --- Construction -------------------------------------------
-          case Op::BuildList: {
+          VM_CASE(BuildList) {
             size_t n = static_cast<size_t>(ins.arg);
             ListObj *l = alloc<ListObj>();
             l->items.reserve(n);
@@ -1578,9 +1805,9 @@ Interp::evalFrame(Frame &frame)
                 l->items.push_back(std::move(stack[i]));
             stack.resize(stack.size() - n);
             push(Value::makeObj(l));
-            break;
+            VM_BREAK;
           }
-          case Op::BuildTuple: {
+          VM_CASE(BuildTuple) {
             size_t n = static_cast<size_t>(ins.arg);
             TupleObj *t = alloc<TupleObj>();
             t->items.reserve(n);
@@ -1588,9 +1815,9 @@ Interp::evalFrame(Frame &frame)
                 t->items.push_back(std::move(stack[i]));
             stack.resize(stack.size() - n);
             push(Value::makeObj(t));
-            break;
+            VM_BREAK;
           }
-          case Op::BuildDict: {
+          VM_CASE(BuildDict) {
             size_t n = static_cast<size_t>(ins.arg);
             DictObj *d = alloc<DictObj>(cfg.hashSeed);
             size_t base = stack.size() - 2 * n;
@@ -1598,18 +1825,18 @@ Interp::evalFrame(Frame &frame)
                 d->set(stack[base + 2 * i], stack[base + 2 * i + 1]);
             stack.resize(base);
             push(Value::makeObj(d));
-            break;
+            VM_BREAK;
           }
-          case Op::BuildSlice: {
+          VM_CASE(BuildSlice) {
             SliceObj *s = alloc<SliceObj>();
             s->step = pop();
             s->stop = pop();
             s->start = pop();
             push(Value::makeObj(s));
-            break;
+            VM_BREAK;
           }
 
-          case Op::UnpackSequence: {
+          VM_CASE(UnpackSequence) {
             Value seq = pop();
             size_t n = static_cast<size_t>(ins.arg);
             const std::vector<Value> *items = nullptr;
@@ -1626,10 +1853,10 @@ Interp::evalFrame(Frame &frame)
                     " values, got " + std::to_string(items->size()));
             for (size_t i = n; i > 0; --i)
                 push((*items)[i - 1]);
-            break;
+            VM_BREAK;
           }
 
-          case Op::MakeFunction: {
+          VM_CASE(MakeFunction) {
             const CodeObject *child =
                 code->children[static_cast<size_t>(ins.arg)].get();
             FunctionObj *fn = alloc<FunctionObj>();
@@ -1643,10 +1870,10 @@ Interp::evalFrame(Frame &frame)
                  i > 0; --i)
                 fn->defaults[i - 1] = pop();
             push(Value::makeObj(fn));
-            break;
+            VM_BREAK;
           }
 
-          case Op::MakeClass: {
+          VM_CASE(MakeClass) {
             const CodeObject *child =
                 code->children[static_cast<size_t>(ins.arg)].get();
             Value base = pop();
@@ -1666,24 +1893,24 @@ Interp::evalFrame(Frame &frame)
             continue;  // already accounted
           }
 
-          case Op::SetupExcept:
+          VM_CASE(SetupExcept)
             frame.handlers.push_back(
                 {static_cast<size_t>(ins.arg), stack.size()});
-            break;
+            VM_BREAK;
 
-          case Op::PopExcept:
+          VM_CASE(PopExcept)
             if (frame.handlers.empty())
                 panic("POP_EXCEPT with no active handler");
             frame.handlers.pop_back();
-            break;
+            VM_BREAK;
 
-          case Op::Raise: {
+          VM_CASE(Raise) {
             Value exc = pop();
             accountBytecode(op, uops, dispatched);
             throw VmError(exc.str());
           }
 
-          case Op::ListAppend: {
+          VM_CASE(ListAppend) {
             Value v = pop();
             Value &holder =
                 stack[stack.size() - static_cast<size_t>(ins.arg)];
@@ -1692,12 +1919,49 @@ Interp::evalFrame(Frame &frame)
             auto *l = static_cast<ListObj *>(holder.asObj());
             emitMem(l->simAddr + 16 + l->items.size() * 8, 8, true);
             l->items.push_back(std::move(v));
-            break;
+            VM_BREAK;
           }
 
-          case Op::NumOpcodes:
+          // --- Superinstructions (threaded tier) ---------------------
+          // Each fused op accounts as ONE bytecode and steps over the
+          // dead slot quickening rewrote to Nop.
+          VM_CASE(LoadFastLoadFast) {
+            size_t s1 = static_cast<size_t>(ins.arg) >> 16;
+            size_t s2 = static_cast<size_t>(ins.arg) & 0xffff;
+            emitMem(frame.localsBase + s1 * 8, 8, false);
+            push(locals[s1]);
+            emitMem(frame.localsBase + s2 * 8, 8, false);
+            push(locals[s2]);
+            ++frame.pc;  // skip the fused (Nop'd) slot
+            VM_BREAK;
+          }
+
+          VM_CASE(LoadFastBinaryAdd) {
+            emitMem(frame.localsBase +
+                        static_cast<uint64_t>(ins.arg) * 8,
+                    8, false);
+            const Value &b = locals[static_cast<size_t>(ins.arg)];
+            Value a = pop();
+            if (a.isInt() && b.isInt()) {
+                push(Value::makeInt(static_cast<int64_t>(
+                    static_cast<uint64_t>(a.asInt()) +
+                    static_cast<uint64_t>(b.asInt()))));
+            } else {
+                ++stats_.guardFailures;
+                ++stats_.perOpGuards[static_cast<size_t>(op)];
+                if (obs)
+                    obs->onGuardFailure(op);
+                uops = opBaseUops(Op::LoadFast) +
+                    opBaseUops(Op::BinaryAdd) + 4;
+                push(binaryOp(Op::BinaryAdd, a, b));
+            }
+            ++frame.pc;  // skip the fused (Nop'd) slot
+            VM_BREAK;
+          }
+
+          VM_CASE(NumOpcodes)
             panic("invalid opcode %d", static_cast<int>(op));
-        }
+        VM_SWITCH_END
 
         accountBytecode(op, uops, dispatched);
         } catch (VmError &) {

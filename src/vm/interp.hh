@@ -31,10 +31,20 @@ enum class Tier : uint8_t
 {
     Interp,    ///< baseline interpreter (CPython-like)
     Adaptive,  ///< hot-loop quickening tier (PyPy-like warmup model)
+    Threaded,  ///< direct-threaded fast tier (quickened up-front)
 };
 
-/** Name of a tier ("interp" / "adaptive"). */
+/** Name of a tier ("interp" / "adaptive" / "threaded"). */
 const char *tierName(Tier t);
+
+/**
+ * Parse a tier name back. The inverse of tierName, used by every
+ * deserialization site (resume files, archive entries, behavior
+ * profiles) so an unknown tier string is rejected loudly instead of
+ * silently defaulting to an existing tier.
+ * @throws FatalError on an unknown name.
+ */
+Tier tierFromName(const std::string &name);
 
 /** Configuration of one VM invocation. */
 struct InterpConfig
@@ -60,10 +70,18 @@ struct InterpConfig
     uint64_t jitCompileUopsPerInstr = 2500;
     /**
      * Modelled micro-op overhead of one interpreter dispatch.
-     * 6 models a switch interpreter; ~4 models threaded code
+     * 6 models a switch interpreter; ~2 models direct-threaded code
      * (computed goto), which saves the bounds check and re-branch.
+     * The runner sets this per tier.
      */
     uint32_t dispatchUops = 6;
+    /**
+     * Modelled micro-op cost, per instruction, of the threaded
+     * tier's up-front quickening pass (superinstruction fusion +
+     * cache-slot setup). Orders of magnitude cheaper than a JIT
+     * compile; charged through the jitCompile counters.
+     */
+    uint64_t quickenUopsPerInstr = 3;
     /** Maximum MiniPy call depth. */
     int maxCallDepth = 800;
     /** If true, print() output is appended to Interp::output. */
@@ -162,11 +180,13 @@ class Interp
 
     // -- internals shared with builtins.cc ---------------------------------
 
-    /** Per-code-object runtime state for the adaptive tier. */
+    /** Per-code-object runtime state for the adaptive/threaded tiers. */
     struct CodeRuntime
     {
         uint64_t backedges = 0;
         bool compiled = false;
+        /** Quickened up-front by the threaded tier (not compiled). */
+        bool threaded = false;
         std::vector<Instr> quickened;
         /** Inline caches, one per instruction slot. */
         struct Cache
@@ -227,6 +247,12 @@ class Interp
     CodeRuntime &runtimeFor(const CodeObject *code);
     /** Quicken (model-compile) a hot code object. */
     void jitCompile(const CodeObject *code, CodeRuntime &rt);
+    /**
+     * Threaded-tier up-front quickening: rewrite generic opcodes to
+     * their specialized forms and fuse hot pairs into
+     * superinstructions (never across a jump target).
+     */
+    void threadedQuicken(const CodeObject *code, CodeRuntime &rt);
 
     /** Account one executed bytecode to counters and the observer. */
     void accountBytecode(Op op, uint32_t uops, bool dispatched);

@@ -45,8 +45,9 @@ class ExecutionObserver
 
     /**
      * Interpreter dispatch: the indirect branch selecting the next
-     * handler. Only emitted by the baseline interpreter tier; the
-     * adaptive tier's compiled code has no dispatch.
+     * handler. Emitted by the dispatching tiers (baseline interpreter
+     * and direct-threaded); the adaptive tier's compiled code has no
+     * dispatch.
      * @param op the opcode being dispatched to.
      */
     virtual void
@@ -117,7 +118,8 @@ class ExecutionObserver
 
     /**
      * The adaptive tier compiled a code object (modelled compile
-     * pause); `cost_uops` is the modelled compilation work.
+     * pause) or the threaded tier quickened one up-front;
+     * `cost_uops` is the modelled compilation/quickening work.
      */
     virtual void
     onJitCompile(uint32_t code_id, uint64_t cost_uops)

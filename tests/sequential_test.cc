@@ -153,8 +153,11 @@ TEST(SuiteState, ResumeRoundTrip)
     ok.name = "sieve";
     ok.interpMs = 1.5;
     ok.adaptiveMs = 0.5;
+    ok.threadedMs = 0.6;
     ok.speedup.ci = {3.0, 2.8, 3.2, 0.95};
     ok.speedup.significant = true;
+    ok.threadedSpeedup.ci = {2.5, 2.3, 2.7, 0.95};
+    ok.threadedSpeedup.significant = true;
     ok.failureCount = 1;
     state.workloads.push_back(ok);
 
@@ -178,9 +181,13 @@ TEST(SuiteState, ResumeRoundTrip)
     EXPECT_FALSE(r_ok->failed);
     EXPECT_DOUBLE_EQ(r_ok->interpMs, 1.5);
     EXPECT_DOUBLE_EQ(r_ok->adaptiveMs, 0.5);
+    EXPECT_DOUBLE_EQ(r_ok->threadedMs, 0.6);
     EXPECT_DOUBLE_EQ(r_ok->speedup.ci.estimate, 3.0);
     EXPECT_DOUBLE_EQ(r_ok->speedup.ci.lower, 2.8);
     EXPECT_TRUE(r_ok->speedup.significant);
+    EXPECT_DOUBLE_EQ(r_ok->threadedSpeedup.ci.estimate, 2.5);
+    EXPECT_DOUBLE_EQ(r_ok->threadedSpeedup.ci.upper, 2.7);
+    EXPECT_TRUE(r_ok->threadedSpeedup.significant);
     EXPECT_EQ(r_ok->failureCount, 1);
 
     const auto *r_bad = restored.find("queens");

@@ -1,0 +1,259 @@
+#!/usr/bin/env bash
+# Three-way tier integration test for the rigorbench CLI.
+#
+# The threaded tier must be a first-class citizen of every artifact
+# path:
+#   - `run --tier threaded` produces --json/--csv artifacts that are
+#     byte-identical across --jobs 1 and --jobs 4, like the other
+#     tiers;
+#   - a suite run measures all three tiers, reports both speedup
+#     columns, and its --resume state is byte-identical across job
+#     counts;
+#   - an archived suite supports cross-tier compare
+#     (--base-tier/--cand-tier) with byte-identical --json output
+#     across repeats;
+#   - unknown tier strings are rejected loudly everywhere: on the
+#     command line (exit 2, named value), in a hand-edited archive
+#     entry (exit 2), and in a hand-edited resume checkpoint (the
+#     workload degrades with the unknown name in the message — never
+#     a silent fallback to an existing tier).
+#
+# Usage: tier_roundtrip_test.sh /path/to/rigorbench
+set -u
+
+BIN=${1:?usage: $0 /path/to/rigorbench}
+WORK=$(mktemp -d /tmp/rigor_tier_XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# Textual state-file surgery shared by the corruption scenarios:
+# extract the payload subtree, rewrite tier strings in a scoped
+# region, recompact exactly like Json::dump(-1) and refresh the CRC.
+# Number tokens are never re-serialized, so the C++ float formatting
+# does not need to be matched. Args: <file> <scope-key-or-"">.
+retier() {
+    python3 - "$1" "$2" <<'EOF'
+import sys, zlib
+
+path, scope = sys.argv[1], sys.argv[2]
+text = open(path).read()
+
+def match_end(s, i):
+    """Index of the bracket closing the value starting at s[i]."""
+    depth, instr, esc = 0, False, False
+    for j in range(i, len(s)):
+        c = s[j]
+        if instr:
+            if esc: esc = False
+            elif c == "\\": esc = True
+            elif c == '"': instr = False
+        elif c == '"':
+            instr = True
+        elif c in "{[":
+            depth += 1
+        elif c in "}]":
+            depth -= 1
+            if depth == 0:
+                return j
+    raise ValueError("unbalanced")
+
+i = text.index('"payload": ') + len('"payload": ')
+payload = text[i:match_end(text, i) + 1]
+
+# Rewrite tier strings, only inside the scope subtree when one is
+# given (e.g. the trace snapshot legitimately mentions tiers
+# elsewhere).
+if scope:
+    key = '"%s": ' % scope
+    i = payload.index(key) + len(key)
+    jend = match_end(payload, i) + 1
+    region = payload[i:jend]
+else:
+    i, jend = 0, len(payload)
+    region = payload
+n = 0
+for t in ("interp", "adaptive", "threaded"):
+    old = '"tier": "%s"' % t
+    if old in region:
+        n += region.count(old)
+        region = region.replace(old, '"tier": "bogus"')
+assert n > 0, "no tier string found to rewrite"
+payload = payload[:i] + region + payload[jend:]
+
+# Compact exactly like Json::dump(-1): strip whitespace outside
+# strings (this also turns ': ' into ':').
+out, instr, esc = [], False, False
+for c in payload:
+    if instr:
+        out.append(c)
+        if esc: esc = False
+        elif c == "\\": esc = True
+        elif c == '"': instr = False
+    elif c not in " \n\t":
+        out.append(c)
+        if c == '"':
+            instr = True
+compact = "".join(out)
+
+crc = "%08x" % (zlib.crc32(compact.encode()) & 0xFFFFFFFF)
+open(path, "w").write(
+    '{"crc32":"%s","format":"rigorbench-state","payload":%s,'
+    '"version":1}' % (crc, compact))
+EOF
+}
+
+# --- unknown --tier is a runtime failure naming the value ------------
+"$BIN" run sieve --tier bogus >"$WORK/bogus.out" 2>"$WORK/bogus.err"
+rc=$?
+[ "$rc" -eq 2 ] || fail "--tier bogus exited $rc (want 2)"
+grep -q "unknown tier 'bogus' (expected interp|adaptive|threaded)" \
+    "$WORK/bogus.err" ||
+    fail "--tier bogus did not name the offending value"
+# ... and the same validation guards the cross-tier pairing flags.
+"$BIN" compare a b --base-tier warp --cand-tier interp \
+    >/dev/null 2>"$WORK/warp.err"
+rc=$?
+[ "$rc" -eq 2 ] || fail "--base-tier warp exited $rc (want 2)"
+grep -q "unknown tier 'warp'" "$WORK/warp.err" ||
+    fail "--base-tier warp did not name the offending value"
+# One pairing flag without the other is a usage error (exit 1).
+"$BIN" compare a b --base-tier interp >/dev/null 2>&1
+rc=$?
+[ "$rc" -eq 1 ] || fail "lone --base-tier exited $rc (want 1)"
+
+# --- per-tier run artifacts are --jobs invariant ---------------------
+for tier in interp adaptive threaded; do
+    for jobs in 1 4; do
+        "$BIN" run richards --tier "$tier" --invocations 4 \
+            --iterations 10 --seed 0xfeed --jobs "$jobs" --quiet \
+            --json "$WORK/$tier-$jobs.json" \
+            --csv "$WORK/$tier-$jobs.csv" >/dev/null 2>&1 ||
+            fail "run --tier $tier --jobs $jobs failed (rc=$?)"
+    done
+    cmp -s "$WORK/$tier-1.json" "$WORK/$tier-4.json" ||
+        fail "$tier run JSON differs between jobs 1 and 4"
+    cmp -s "$WORK/$tier-1.csv" "$WORK/$tier-4.csv" ||
+        fail "$tier run CSV differs between jobs 1 and 4"
+    grep -q "\"tier\": \"$tier\"" "$WORK/$tier-1.json" ||
+        fail "$tier run JSON does not record its tier"
+done
+
+# --- suite: three tiers, two speedup columns, jobs-proof state -------
+SUITE_FLAGS=(suite --invocations 2 --iterations 4 --seed 0xfeed
+             --quiet)
+for jobs in 1 4; do
+    mkdir -p "$WORK/suite$jobs"
+    "$BIN" "${SUITE_FLAGS[@]}" --jobs "$jobs" \
+        --resume "$WORK/suite$jobs/state.json" \
+        >"$WORK/suite$jobs/stdout.txt" 2>&1 ||
+        fail "suite --jobs $jobs failed (rc=$?)"
+done
+cmp -s "$WORK/suite1/state.json" "$WORK/suite4/state.json" ||
+    fail "suite resume state differs between jobs 1 and 4"
+grep -q "threaded ms" "$WORK/suite1/stdout.txt" ||
+    fail "suite table has no threaded column"
+grep -q "geomean speedup (adaptive over interp)" \
+    "$WORK/suite1/stdout.txt" ||
+    fail "suite lacks the adaptive geomean line"
+grep -q "geomean speedup (threaded over interp)" \
+    "$WORK/suite1/stdout.txt" ||
+    fail "suite lacks the threaded geomean line"
+
+# --- archived suite: cross-tier compare ------------------------------
+ARCH="$WORK/archive"
+"$BIN" "${SUITE_FLAGS[@]}" --jobs 1 --archive "$ARCH" --label full \
+    >/dev/null 2>&1 || fail "archiving suite failed (rc=$?)"
+"$BIN" compare HEAD HEAD --archive "$ARCH" \
+    --base-tier interp --cand-tier threaded \
+    --json "$WORK/x1.json" >"$WORK/x.md" 2>&1 ||
+    fail "cross-tier compare exited $? (want 0)"
+grep -q "Cross-tier pairing" "$WORK/x.md" ||
+    fail "compare does not surface the cross-tier pairing"
+grep -q "interp->threaded" "$WORK/x.md" ||
+    fail "compare pairs are not keyed base->cand"
+grep -q '"baseline_tier": "interp"' "$WORK/x1.json" ||
+    fail "compare JSON does not record the baseline tier"
+"$BIN" compare HEAD HEAD --archive "$ARCH" \
+    --base-tier interp --cand-tier threaded \
+    --json "$WORK/x2.json" >/dev/null 2>&1 ||
+    fail "repeated cross-tier compare exited $?"
+cmp -s "$WORK/x1.json" "$WORK/x2.json" ||
+    fail "cross-tier compare JSON differs across repeats"
+# Same-tier reports must not grow the new fields (byte-compatible
+# with pre-threaded consumers).
+"$BIN" compare HEAD HEAD --archive "$ARCH" --json "$WORK/same.json" \
+    >/dev/null 2>&1 || fail "same-entry compare exited $?"
+grep -q "baseline_tier" "$WORK/same.json" &&
+    fail "default compare JSON leaks the cross-tier fields"
+
+# --- hand-edited archive entry: unknown tier rejected loudly ---------
+# Rewrite the archived runs' tier strings to a name no tier has and
+# require the loader to refuse by name instead of misfiling the runs
+# under an existing tier.
+entry=$(ls "$ARCH"/entry-*.json | tail -1)
+retier "$entry" "" || fail "could not edit archive entry"
+"$BIN" compare HEAD HEAD --archive "$ARCH" \
+    --base-tier interp --cand-tier threaded \
+    >"$WORK/warped.out" 2>"$WORK/warped.err"
+rc=$?
+[ "$rc" -eq 2 ] || fail "edited archive entry exited $rc (want 2)"
+grep -q "unknown tier 'bogus'" "$WORK/warped.err" ||
+    fail "edited archive entry was not rejected by name"
+
+# --- hand-edited resume checkpoint: unknown tier degrades loudly -----
+# Interrupt a suite so the checkpoint holds a partial run (which
+# embeds its tier string), rewrite that tier, and resume: the
+# workload must fail with the unknown name in the message, never
+# silently remap to an existing tier. The nap before the SIGTERM
+# shrinks until the signal lands mid-suite (sanitizer builds run
+# much slower than release builds).
+CKPT_FLAGS=("${SUITE_FLAGS[@]}" --checkpoint-every 2)
+ref_start=$SECONDS
+mkdir -p "$WORK/ref"
+"$BIN" "${CKPT_FLAGS[@]}" --jobs 1 --resume "$WORK/ref/state.json" \
+    >/dev/null 2>&1 || fail "checkpoint reference run failed (rc=$?)"
+ref_dur=$((SECONDS - ref_start))
+got_checkpoint=0
+for nap in $(awk -v d="$ref_dur" 'BEGIN {
+        if (d < 1) d = 1
+        printf "%.2f %.2f %.2f 0.1", d / 3, d / 6, d / 15 }'); do
+    rm -rf "$WORK/interrupted"
+    mkdir -p "$WORK/interrupted"
+    "$BIN" "${CKPT_FLAGS[@]}" --jobs 1 \
+        --resume "$WORK/interrupted/state.json" >/dev/null 2>&1 &
+    pid=$!
+    sleep "$nap"
+    kill -TERM "$pid" 2>/dev/null
+    wait "$pid"
+    rc=$?
+    if [ "$rc" -eq 3 ] &&
+        grep -q '"in_progress"' "$WORK/interrupted/state.json"; then
+        got_checkpoint=1
+        break
+    fi
+    [ "$rc" -eq 3 ] || [ "$rc" -eq 0 ] ||
+        fail "interrupted suite exited $rc (want 3, or 0 to retry)"
+done
+if [ "$got_checkpoint" -eq 1 ]; then
+    retier "$WORK/interrupted/state.json" "in_progress" ||
+        fail "could not edit resume checkpoint"
+    rm -f "$WORK/interrupted/state.json.bak"
+    "$BIN" "${CKPT_FLAGS[@]}" --jobs 1 \
+        --resume "$WORK/interrupted/state.json" \
+        >"$WORK/interrupted/stdout.txt" \
+        2>"$WORK/interrupted/stderr.txt"
+    grep -q "unknown tier 'bogus'" "$WORK/interrupted/stderr.txt" ||
+        fail "edited resume checkpoint was not rejected by name"
+else
+    # The suite finished before any signal landed (very fast build,
+    # very slow shell): the archive-entry surgery above already
+    # proved unknown-tier rejection on the deserialization path.
+    echo "note: SIGTERM never landed mid-suite; skipping the" \
+        "resume-checkpoint surgery"
+fi
+
+echo "tier_roundtrip_test: OK"

@@ -2,7 +2,7 @@
  * @file
  * Differential (fuzz) tests: random MiniPy programs are generated and
  * simultaneously evaluated by a C++ oracle; the VM must agree on
- * every run, on both tiers. Covers integer arithmetic expression
+ * every run, on every tier. Covers integer arithmetic expression
  * trees and random list-operation sequences against std::vector.
  */
 
@@ -146,7 +146,8 @@ TEST_P(ExprDifferential, RandomIntExpressionsMatchOracle)
         std::string src = "def run(a, b, c, d):\n    return " +
             expr + "\n";
         Program prog = compileSource(src);
-        for (Tier tier : {Tier::Interp, Tier::Adaptive}) {
+        for (Tier tier :
+             {Tier::Interp, Tier::Adaptive, Tier::Threaded}) {
             InterpConfig cfg;
             cfg.tier = tier;
             cfg.jitThreshold = 1;

@@ -18,18 +18,36 @@ cmake -B build-asan -S . -DRIGOR_SANITIZE=ON \
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "== parallel determinism (--jobs 4 vs --jobs 1) =="
+echo "== switch-fallback dispatch build (-DRIGOR_NO_COMPUTED_GOTO) =="
+# The threaded tier's computed-goto loop has a portable switch twin;
+# both must build warning-free and produce byte-identical artifacts
+# (the *model* charges dispatch costs, not the host dispatch
+# mechanism).
+cmake -B build-nocg -S . \
+    -DCMAKE_CXX_FLAGS="-DRIGOR_NO_COMPUTED_GOTO" >/dev/null
+cmake --build build-nocg -j "$jobs" --target rigorbench
+
+echo "== parallel determinism (--jobs 4 vs --jobs 1, every tier) =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
-for n in 1 4; do
-    ./build/tools/rigorbench run nbody --invocations 6 --iterations 5 \
-        --jobs "$n" --inject checksum:inv=2:n=1 \
-        --json "$tmp/j$n.json" --metrics "$tmp/m$n.json" \
-        --trace "$tmp/t$n.json" --quiet >/dev/null 2>&1
+for tier in interp adaptive threaded; do
+    for n in 1 4; do
+        ./build/tools/rigorbench run nbody --tier "$tier" \
+            --invocations 6 --iterations 5 \
+            --jobs "$n" --inject checksum:inv=2:n=1 \
+            --json "$tmp/j$n.json" --metrics "$tmp/m$n.json" \
+            --trace "$tmp/t$n.json" --quiet >/dev/null 2>&1
+    done
+    cmp "$tmp/j1.json" "$tmp/j4.json"
+    cmp "$tmp/m1.json" "$tmp/m4.json"
+    cmp "$tmp/t1.json" "$tmp/t4.json"
+    # ... and across the dispatch mechanisms.
+    ./build-nocg/tools/rigorbench run nbody --tier "$tier" \
+        --invocations 6 --iterations 5 \
+        --jobs 1 --inject checksum:inv=2:n=1 \
+        --json "$tmp/jn.json" --quiet >/dev/null 2>&1
+    cmp "$tmp/j1.json" "$tmp/jn.json"
 done
-cmp "$tmp/j1.json" "$tmp/j4.json"
-cmp "$tmp/m1.json" "$tmp/m4.json"
-cmp "$tmp/t1.json" "$tmp/t4.json"
 
 echo "== interrupt/resume smoke (SIGTERM mid-suite, byte-identity) =="
 bash tests/interrupt_resume_test.sh ./build/tools/rigorbench
@@ -42,5 +60,10 @@ bash tests/archive_gate_test.sh ./build-asan/tools/rigorbench
 echo "== explain smoke (attribution, byte-identity, gate --explain) =="
 bash tests/explain_cli_test.sh ./build/tools/rigorbench
 bash tests/explain_cli_test.sh ./build-asan/tools/rigorbench
+
+echo "== tier smoke (three tiers, cross-tier compare, rejection) =="
+bash tests/tier_roundtrip_test.sh ./build/tools/rigorbench
+bash tests/tier_roundtrip_test.sh ./build-asan/tools/rigorbench
+bash tests/tier_roundtrip_test.sh ./build-nocg/tools/rigorbench
 
 echo "all checks passed"

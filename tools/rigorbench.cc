@@ -17,7 +17,8 @@
  *   rigorbench help
  *
  * Common options:
- *   --tier interp|adaptive   (run only; default interp,
+ *   --tier interp|adaptive|threaded
+ *                            (run only; default interp,
  *                            profile defaults to adaptive)
  *   --invocations N          (default 8)
  *   --iterations N           (default 20)
@@ -65,6 +66,12 @@
  *   --confidence C           interval confidence (default 0.95)
  *   --gate-threshold PCT     gate regression threshold (default 5)
  *   --keep N                 (archive prune) entries to keep
+ *   --base-tier T --cand-tier T
+ *                            (compare/gate/explain on archives)
+ *                            cross-tier pairing: baseline runs on
+ *                            tier T1 vs candidate runs on tier T2,
+ *                            paired by workload (both flags or
+ *                            neither)
  *
  * Differential profiling (see docs/METHODOLOGY.md §14):
  *   explain A B              attribute the measured ratio of every
@@ -88,13 +95,17 @@
  *      beyond the threshold at the configured confidence
  */
 
+#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "archive/archive.hh"
@@ -139,6 +150,8 @@ struct Options
     vm::Tier tier = vm::Tier::Interp;
     /** True once --tier was given (profile defaults differently). */
     bool tierSet = false;
+    /** Cross-tier pairing for compare/gate/explain (both or none). */
+    std::string baseTier, candTier;
     int invocations = 8;
     int iterations = 20;
     int jobs = 1;
@@ -202,7 +215,7 @@ printUsage(std::FILE *out)
         "\n"
         "entry refs: HEAD, HEAD~N, a decimal id, or a --label name\n"
         "\n"
-        "options: --tier interp|adaptive --invocations N "
+        "options: --tier interp|adaptive|threaded --invocations N "
         "--iterations N --size N --jobs N\n"
         "         --seed S --jit-threshold N --target PCT "
         "--json FILE --csv FILE --no-noise\n"
@@ -213,6 +226,7 @@ printUsage(std::FILE *out)
         "         --archive DIR --label NAME --resamples N "
         "--confidence C\n"
         "         --gate-threshold PCT --keep N --explain\n"
+        "         --base-tier TIER --cand-tier TIER\n"
         "\n"
         "exit codes: 0 success, 1 usage error, 2 runtime failure,\n"
         "            3 interrupted (resumable with --resume),\n"
@@ -277,6 +291,28 @@ parseSeed(const char *flag, const char *text)
     return v;
 }
 
+/**
+ * A mistyped tier value is a runtime failure (exit 2), not a usage
+ * error: the flag itself was recognized, its value wasn't. Name the
+ * offending value instead of drowning it in the usage wall.
+ */
+vm::Tier
+parseTier(const char *text)
+{
+    std::string t = text;
+    if (t == "interp")
+        return vm::Tier::Interp;
+    if (t == "adaptive")
+        return vm::Tier::Adaptive;
+    if (t == "threaded")
+        return vm::Tier::Threaded;
+    std::fprintf(stderr,
+                 "unknown tier '%s' (expected "
+                 "interp|adaptive|threaded)\n",
+                 t.c_str());
+    std::exit(kExitFailure);
+}
+
 Options
 parseArgs(int argc, char **argv)
 {
@@ -305,14 +341,12 @@ parseArgs(int argc, char **argv)
             printUsage(stdout);
             std::exit(0);
         } else if (a == "--tier") {
-            std::string t = next();
-            if (t == "interp")
-                opt.tier = vm::Tier::Interp;
-            else if (t == "adaptive")
-                opt.tier = vm::Tier::Adaptive;
-            else
-                usage();
+            opt.tier = parseTier(next());
             opt.tierSet = true;
+        } else if (a == "--base-tier") {
+            opt.baseTier = vm::tierName(parseTier(next()));
+        } else if (a == "--cand-tier") {
+            opt.candTier = vm::tierName(parseTier(next()));
         } else if (a == "--invocations") {
             opt.invocations = static_cast<int>(
                 parseInt("--invocations", next(), 1));
@@ -400,6 +434,14 @@ parseArgs(int argc, char **argv)
     if (opt.explainGate && opt.command != "gate")
         fatal("--explain only applies to 'gate' (use the 'explain' "
               "command for a standalone report)");
+    if (opt.baseTier.empty() != opt.candTier.empty())
+        fatal("cross-tier comparison needs both --base-tier and "
+              "--cand-tier (got baseline '%s', candidate '%s')",
+              opt.baseTier.c_str(), opt.candTier.c_str());
+    if (!opt.baseTier.empty() && opt.command != "compare" &&
+        opt.command != "gate" && opt.command != "explain")
+        fatal("--base-tier/--cand-tier only apply to "
+              "'compare', 'gate' and 'explain'");
     return opt;
 }
 
@@ -668,6 +710,18 @@ configJson(const Options &opt)
 }
 
 /**
+ * The tiers a suite measures, in execution order. The order is part
+ * of the resume-state contract: checkpoints identify the tier in
+ * flight by name, and a resumed process walks this list to find where
+ * the interrupted one stopped.
+ */
+constexpr vm::Tier kSuiteTiers[] = {vm::Tier::Interp,
+                                    vm::Tier::Adaptive,
+                                    vm::Tier::Threaded};
+constexpr size_t kSuiteTierCount =
+    sizeof(kSuiteTiers) / sizeof(kSuiteTiers[0]);
+
+/**
  * The archived configuration: the resume fingerprint plus what it
  * leaves implicit — which workloads ran on which tiers, and the run
  * schema version. Two entries with equal fingerprints measured the
@@ -684,8 +738,8 @@ archiveConfigJson(const Options &opt)
     if (opt.command == "suite") {
         for (const auto &w : workloads::suite())
             wls.push(w.name);
-        tiers.push(vm::tierName(vm::Tier::Interp));
-        tiers.push(vm::tierName(vm::Tier::Adaptive));
+        for (vm::Tier tier : kSuiteTiers)
+            tiers.push(vm::tierName(tier));
     } else {
         wls.push(opt.workload);
         tiers.push(vm::tierName(opt.tier));
@@ -741,24 +795,33 @@ class SuiteCheckpointer
         : opt_(opt), state_(state)
     {}
 
-    /** A workload's measurement is starting (interp tier first). */
+    /** A workload's measurement is starting (no tier in flight yet). */
     void beginWorkload(const std::string &name)
     {
         currentName_ = name;
-        interpDone_ = nullptr;
+        currentTier_.clear();
+        doneTiers_.clear();
     }
 
-    /** The interp run finished; `interp` outlives the adaptive run. */
-    void setInterpDone(const harness::RunResult *interp)
+    /** The named tier's run is starting; it is now the one in flight. */
+    void beginTier(vm::Tier tier) { currentTier_ = vm::tierName(tier); }
+
+    /**
+     * The in-flight tier's run finished; `run` outlives the
+     * remaining tier runs of this workload.
+     */
+    void setTierDone(const harness::RunResult *run)
     {
-        interpDone_ = interp;
+        doneTiers_.emplace_back(vm::tierName(run->tier), run);
+        currentTier_.clear();
     }
 
     /** The workload finished (or failed); nothing is in flight. */
     void endWorkload()
     {
         currentName_.clear();
-        interpDone_ = nullptr;
+        currentTier_.clear();
+        doneTiers_.clear();
     }
 
     /** Checkpoint between workloads (after a completed one commits). */
@@ -781,14 +844,13 @@ class SuiteCheckpointer
         if (current) {
             Json ip = Json::object();
             ip.set("name", currentName_);
-            // While the interp tier runs, `current` is the partial
-            // interp run; once interpDone_ is set, `current` is the
-            // partial adaptive run.
-            ip.set("interp", harness::runToJson(
-                                 interpDone_ ? *interpDone_
-                                             : *current));
-            if (interpDone_)
-                ip.set("adaptive", harness::runToJson(*current));
+            // Completed tiers first, then the partial run of the tier
+            // in flight — each under its tier name, so a resumed
+            // process can walk kSuiteTiers and find where this one
+            // stopped.
+            for (const auto &[tier, run] : doneTiers_)
+                ip.set(tier, harness::runToJson(*run));
+            ip.set(currentTier_, harness::runToJson(*current));
             payload.set("in_progress", std::move(ip));
         }
         if (opt_.metrics)
@@ -801,7 +863,11 @@ class SuiteCheckpointer
     const Options &opt_;
     const harness::SuiteState &state_;
     std::string currentName_;
-    const harness::RunResult *interpDone_ = nullptr;
+    /** Tier name of the run in flight (empty between tier runs). */
+    std::string currentTier_;
+    /** Completed (tier name, run) pairs of the current workload. */
+    std::vector<std::pair<std::string, const harness::RunResult *>>
+        doneTiers_;
 };
 
 /** Outcome of measuring (or resuming) one suite workload. */
@@ -832,29 +898,36 @@ suiteRunConfig(const Options &opt, const std::string &name,
     return cfg;
 }
 
-/** Estimates and bookkeeping once both tier runs are complete. */
+/** Estimates and bookkeeping once all tier runs are complete. */
 void
 finishWorkloadState(harness::SuiteWorkloadState &ws,
                     const harness::RunResult &interp,
-                    const harness::RunResult &jit)
+                    const harness::RunResult &jit,
+                    const harness::RunResult &threaded)
 {
-    ws.quarantined = interp.quarantined || jit.quarantined;
+    ws.quarantined = interp.quarantined || jit.quarantined ||
+        threaded.quarantined;
     ws.failureCount = static_cast<int>(interp.failures.size() +
-                                       jit.failures.size());
-    ws.modelledMs = interp.totalModelledMs() + jit.totalModelledMs();
-    if (interp.invocations.size() < 2 || jit.invocations.size() < 2) {
+                                       jit.failures.size() +
+                                       threaded.failures.size());
+    ws.modelledMs = interp.totalModelledMs() + jit.totalModelledMs() +
+        threaded.totalModelledMs();
+    if (interp.invocations.size() < 2 || jit.invocations.size() < 2 ||
+        threaded.invocations.size() < 2) {
         ws.failed = true;
         return;
     }
     ws.interpMs = harness::rigorousEstimate(interp).ci.estimate;
     ws.adaptiveMs = harness::rigorousEstimate(jit).ci.estimate;
+    ws.threadedMs = harness::rigorousEstimate(threaded).ci.estimate;
     ws.speedup = harness::rigorousSpeedup(interp, jit);
+    ws.threadedSpeedup = harness::rigorousSpeedup(interp, threaded);
 }
 
 /**
- * Measure one workload on both tiers. Degrades gracefully: failures
- * and quarantines are recorded in the returned state instead of
- * propagating, so one broken workload cannot sink the suite.
+ * Measure one workload on every suite tier. Degrades gracefully:
+ * failures and quarantines are recorded in the returned state instead
+ * of propagating, so one broken workload cannot sink the suite.
  */
 SuiteStep
 runSuiteWorkload(const workloads::WorkloadSpec &w, const Options &opt,
@@ -866,29 +939,28 @@ runSuiteWorkload(const workloads::WorkloadSpec &w, const Options &opt,
     if (ckpt)
         ckpt->beginWorkload(w.name);
     try {
-        auto interp = harness::runExperiment(
-            w, suiteRunConfig(opt, w.name, vm::Tier::Interp, faults,
-                              ckpt));
-        if (interp.interrupted) {
-            step.interrupted = true;
-            return step;
+        // Deque, not vector: setTierDone keeps a pointer into the
+        // container, so earlier runs must not move when later tiers
+        // are appended.
+        std::deque<harness::RunResult> runs;
+        for (vm::Tier tier : kSuiteTiers) {
+            if (ckpt)
+                ckpt->beginTier(tier);
+            runs.push_back(harness::runExperiment(
+                w, suiteRunConfig(opt, w.name, tier, faults, ckpt)));
+            if (runs.back().interrupted) {
+                step.interrupted = true;
+                return step;
+            }
+            if (ckpt)
+                ckpt->setTierDone(&runs.back());
         }
-        if (ckpt)
-            ckpt->setInterpDone(&interp);
-        auto jit = harness::runExperiment(
-            w, suiteRunConfig(opt, w.name, vm::Tier::Adaptive, faults,
-                              ckpt));
         if (ckpt)
             ckpt->endWorkload();
-        if (jit.interrupted) {
-            step.interrupted = true;
-            return step;
-        }
-        finishWorkloadState(step.ws, interp, jit);
-        if (!opt.archiveDir.empty()) {
-            step.runs.push_back(std::move(interp));
-            step.runs.push_back(std::move(jit));
-        }
+        finishWorkloadState(step.ws, runs[0], runs[1], runs[2]);
+        if (!opt.archiveDir.empty())
+            for (auto &r : runs)
+                step.runs.push_back(std::move(r));
     } catch (const std::exception &e) {
         if (ckpt)
             ckpt->endWorkload();
@@ -945,59 +1017,69 @@ resumeSuiteWorkload(const workloads::WorkloadSpec &w,
 {
     SuiteStep step;
     step.ws.name = w.name;
+    // Deserialize the checkpointed partial run(s) before entering the
+    // degrade-gracefully region: a record that cannot be restored
+    // (e.g. an unknown tier string in a hand-edited file) means the
+    // checkpoint itself cannot be trusted, so the resume must abort
+    // loudly instead of re-measuring the workload as merely "failed".
+    std::array<std::optional<harness::RunResult>, kSuiteTierCount>
+        restored;
+    for (size_t i = 0; i < kSuiteTierCount; ++i)
+        if (const Json *tj = ip.get(vm::tierName(kSuiteTiers[i])))
+            restored[i] = harness::runFromJson(*tj);
     if (ckpt)
         ckpt->beginWorkload(w.name);
     try {
-        auto interp = harness::runFromJson(ip.at("interp"));
-        if (!runComplete(interp, opt)) {
-            ensureWorkloadSpanOpen(opt, w, interp);
-            harness::resumeExperiment(
-                w,
-                suiteRunConfig(opt, w.name, vm::Tier::Interp, faults,
-                               ckpt),
-                interp);
-            if (interp.interrupted) {
-                step.interrupted = true;
-                return step;
-            }
-        }
-        // A restored-complete interp run still has its workload span
-        // open in the restored trace (the checkpoint fired at the
-        // final commit boundary, before the span closed); emit the
-        // close the uninterrupted run would have emitted. Only when
-        // the adaptive run had not started yet, though: once it has,
-        // the interp span was closed before the checkpoint and the
-        // open span belongs to the adaptive run.
-        const Json *aj = ip.get("adaptive");
-        if (opt.trace && !aj)
-            opt.trace->endSpansTo(1);
-        if (ckpt)
-            ckpt->setInterpDone(&interp);
-        harness::RunResult jit;
-        if (aj) {
-            jit = harness::runFromJson(*aj);
-            if (!runComplete(jit, opt)) {
-                ensureWorkloadSpanOpen(opt, w, jit);
-                harness::resumeExperiment(
+        // Deque for pointer stability, as in runSuiteWorkload.
+        std::deque<harness::RunResult> runs;
+        for (size_t i = 0; i < kSuiteTierCount; ++i) {
+            vm::Tier tier = kSuiteTiers[i];
+            if (restored[i]) {
+                runs.push_back(std::move(*restored[i]));
+                auto &run = runs.back();
+                if (!runComplete(run, opt)) {
+                    ensureWorkloadSpanOpen(opt, w, run);
+                    if (ckpt)
+                        ckpt->beginTier(tier);
+                    harness::resumeExperiment(
+                        w,
+                        suiteRunConfig(opt, w.name, tier, faults,
+                                       ckpt),
+                        run);
+                    if (run.interrupted) {
+                        step.interrupted = true;
+                        return step;
+                    }
+                }
+                // A restored-complete run still has its workload span
+                // open in the restored trace (the checkpoint fired at
+                // the final commit boundary, before the span closed);
+                // emit the close the uninterrupted run would have
+                // emitted. Only when the next tier's run had not
+                // started yet, though: once it has, this tier's span
+                // was closed before the checkpoint and the open span
+                // belongs to the next tier's run.
+                bool nextRestored = i + 1 < kSuiteTierCount &&
+                    restored[i + 1].has_value();
+                if (opt.trace && !nextRestored)
+                    opt.trace->endSpansTo(1);
+            } else {
+                if (ckpt)
+                    ckpt->beginTier(tier);
+                runs.push_back(harness::runExperiment(
                     w,
-                    suiteRunConfig(opt, w.name, vm::Tier::Adaptive,
-                                   faults, ckpt),
-                    jit);
+                    suiteRunConfig(opt, w.name, tier, faults, ckpt)));
+                if (runs.back().interrupted) {
+                    step.interrupted = true;
+                    return step;
+                }
             }
-            if (opt.trace && !jit.interrupted)
-                opt.trace->endSpansTo(1);
-        } else {
-            jit = harness::runExperiment(
-                w, suiteRunConfig(opt, w.name, vm::Tier::Adaptive,
-                                  faults, ckpt));
+            if (ckpt)
+                ckpt->setTierDone(&runs.back());
         }
         if (ckpt)
             ckpt->endWorkload();
-        if (jit.interrupted) {
-            step.interrupted = true;
-            return step;
-        }
-        finishWorkloadState(step.ws, interp, jit);
+        finishWorkloadState(step.ws, runs[0], runs[1], runs[2]);
     } catch (const std::exception &e) {
         if (ckpt)
             ckpt->endWorkload();
@@ -1133,34 +1215,43 @@ cmdSuite(const Options &opt, const harness::FaultInjector *faults)
     if (opt.trace)
         opt.trace->endSpansTo(0);
 
-    Table t({"benchmark", "interp ms", "adaptive ms",
-             "speedup (95% CI)", "sig"});
+    Table t({"benchmark", "interp ms", "adaptive ms", "threaded ms",
+             "adaptive speedup (95% CI)", "sig",
+             "threaded speedup (95% CI)", "sig"});
     std::vector<harness::SpeedupResult> speedups;
+    std::vector<harness::SpeedupResult> threadedSpeedups;
     int degraded = 0;
     for (const auto &w : workloads::suite()) {
         const auto *ws = state.find(w.name);
         if (!ws)
             continue;
         if (ws->failed) {
-            t.addRow({ws->name, "-", "-",
+            t.addRow({ws->name, "-", "-", "-",
                       ws->quarantined ? "(quarantined)" : "(failed)",
-                      "-"});
+                      "-", "-", "-"});
             ++degraded;
             continue;
         }
         speedups.push_back(ws->speedup);
+        threadedSpeedups.push_back(ws->threadedSpeedup);
         t.addRow({ws->name, fmtDouble(ws->interpMs, 4),
                   fmtDouble(ws->adaptiveMs, 4),
+                  fmtDouble(ws->threadedMs, 4),
                   harness::formatCi(ws->speedup.ci, 2),
-                  ws->speedup.significant ? "y" : "n"});
+                  ws->speedup.significant ? "y" : "n",
+                  harness::formatCi(ws->threadedSpeedup.ci, 2),
+                  ws->threadedSpeedup.significant ? "y" : "n"});
         if (ws->quarantined || ws->failureCount > 0)
             ++degraded;
     }
     std::printf("%s", t.render().c_str());
     if (!speedups.empty()) {
         auto geo = harness::geomeanSpeedup(speedups);
-        std::printf("geomean speedup: %s\n",
+        std::printf("geomean speedup (adaptive over interp): %s\n",
                     harness::formatCi(geo, 2).c_str());
+        auto tgeo = harness::geomeanSpeedup(threadedSpeedups);
+        std::printf("geomean speedup (threaded over interp): %s\n",
+                    harness::formatCi(tgeo, 2).c_str());
     }
 
     if (degraded > 0) {
@@ -1209,6 +1300,8 @@ compareConfig(const Options &opt)
     cfg.confidence = opt.confidence;
     cfg.resamples = opt.resamples;
     cfg.seed = opt.seed;
+    cfg.baselineTier = opt.baseTier;
+    cfg.candidateTier = opt.candTier;
     return cfg;
 }
 
