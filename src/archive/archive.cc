@@ -6,8 +6,10 @@
 #include <cstring>
 #include <filesystem>
 
+#include "archive/entry_format.hh"
 #include "harness/report.hh"
 #include "support/durable_io.hh"
+#include "support/filelock.hh"
 #include "support/fingerprint.hh"
 #include "support/logging.hh"
 #include "support/schema.hh"
@@ -19,50 +21,6 @@ namespace rigor {
 namespace archive {
 
 namespace {
-
-constexpr const char *kEntryPrefix = "entry-";
-constexpr const char *kEntrySuffix = ".json";
-constexpr const char *kQuarantineSuffix = ".quarantined";
-
-/**
- * Parse an entry id out of a filename of the exact form
- * entry-NNNNNN.json; returns -1 for everything else (backups,
- * temporaries, quarantined files, stray data).
- */
-int
-entryIdFromName(const std::string &name)
-{
-    if (!startsWith(name, kEntryPrefix) ||
-        !endsWith(name, kEntrySuffix))
-        return -1;
-    std::string digits = name.substr(
-        std::strlen(kEntryPrefix),
-        name.size() - std::strlen(kEntryPrefix) -
-            std::strlen(kEntrySuffix));
-    if (digits.empty())
-        return -1;
-    int id = 0;
-    for (char c : digits) {
-        if (c < '0' || c > '9')
-            return -1;
-        id = id * 10 + (c - '0');
-    }
-    return id;
-}
-
-/**
- * Any id-bearing filename, *including* quarantined and backup copies.
- * append() uses this so a pruned-then-quarantined id is never reused
- * for a new entry (refs must stay unambiguous forever).
- */
-int
-anyIdFromName(std::string name)
-{
-    for (const char *suffix : {kQuarantineSuffix, ".bak", ".tmp"})
-        if (endsWith(name, suffix))
-            name.resize(name.size() - std::strlen(suffix));
-    return entryIdFromName(name);
-}
 
 /** Validate an entry payload's inner schema against this build. */
 void
@@ -116,8 +74,13 @@ RunArchive::RunArchive(std::string dir) : dir_(std::move(dir))
 std::string
 RunArchive::entryPath(int id) const
 {
-    return dir_ + "/" + strprintf("%s%06d%s", kEntryPrefix, id,
-                                  kEntrySuffix);
+    return dir_ + "/" + entryFileName(id);
+}
+
+std::string
+RunArchive::lockPath() const
+{
+    return dir_ + "/" + kLockFileName;
 }
 
 int
@@ -137,14 +100,37 @@ RunArchive::append(const Json &config, const std::string &label,
         fatal("cannot create archive directory %s: %s", dir_.c_str(),
               ec.message().c_str());
 
+    // The scan-then-write below is what the lock protects: two
+    // unlocked appenders would compute the same next id and one
+    // entry would silently clobber the other.
+    FileLock lock = FileLock::acquire(lockPath());
+    if (!lock.held())
+        fatal("archive %s is locked by another process (lock file "
+              "%s); giving up after retries",
+              dir_.c_str(), lockPath().c_str());
+
     int maxId = 0;
-    for (const auto &e : fs::directory_iterator(dir_, ec))
-        maxId = std::max(maxId,
-                         anyIdFromName(e.path().filename().string()));
+    std::vector<std::string> staleTmp;
+    for (const auto &e : fs::directory_iterator(dir_, ec)) {
+        std::string name = e.path().filename().string();
+        maxId = std::max(maxId, anyIdFromName(name));
+        if (isTmpName(name))
+            staleTmp.push_back(e.path().string());
+    }
     if (ec)
         fatal("cannot scan archive directory %s: %s", dir_.c_str(),
               ec.message().c_str());
     int id = maxId + 1;
+
+    // Sweep staging files orphaned by interrupted writes — but only
+    // now, after their ids were counted above, so a crash between
+    // staging and rename can never cause an id to be handed out
+    // twice.
+    for (const auto &tmp : staleTmp)
+        if (fsOps().unlink(tmp.c_str()) == 0)
+            warn("removed orphaned temporary %s left by an "
+                 "interrupted write",
+                 tmp.c_str());
 
     Json payload = Json::object();
     payload.set("schema", kArchiveEntrySchema);
@@ -176,6 +162,8 @@ RunArchive::scan() const
     std::vector<std::pair<int, std::string>> files;
     for (const auto &e : fs::directory_iterator(dir_, ec)) {
         std::string name = e.path().filename().string();
+        if (isQuarantineName(name))
+            ++out.quarantinedPresent;
         int id = entryIdFromName(name);
         if (id >= 0)
             files.emplace_back(id, e.path().string());
@@ -185,11 +173,31 @@ RunArchive::scan() const
               ec.message().c_str());
     std::sort(files.begin(), files.end());
 
+    // The lock is taken lazily, only if something needs
+    // quarantining: clean archives — the overwhelmingly common case —
+    // scan without touching the lock at all.
+    FileLock lock;
+    bool lockTried = false;
+
     for (const auto &[id, path] : files) {
         try {
             StateLoad load = loadStateFile(path);
             if (load.usedBackup)
                 warn("%s", load.warning.c_str());
+            const Json *schema = load.payload.get("schema");
+            const Json *version = load.payload.get("version");
+            if (schema && schema->asString() == kArchiveEntrySchema &&
+                version && version->asInt() > kArchiveEntryVersion) {
+                // Written by a future build: perfectly healthy data
+                // this build cannot interpret. Skip, never
+                // quarantine — downgrades must not eat archives.
+                warn("%s has %s version %lld; this build reads "
+                     "versions %d..%d, leaving it in place",
+                     path.c_str(), kArchiveEntrySchema,
+                     static_cast<long long>(version->asInt()),
+                     kArchiveEntryMinVersion, kArchiveEntryVersion);
+                continue;
+            }
             checkEntrySchema(load.payload, path);
             out.entries.push_back(
                 summaryFromPayload(load.payload, id, path));
@@ -199,12 +207,24 @@ RunArchive::scan() const
             // scan — one rotten entry must not hide the healthy rest
             // of the archive. The rename keeps the bytes around for
             // forensics while taking the file out of future scans.
-            std::string aside = path + kQuarantineSuffix;
-            if (std::rename(path.c_str(), aside.c_str()) == 0) {
+            if (!lockTried) {
+                lockTried = true;
+                lock = FileLock::tryAcquire(lockPath());
+            }
+            if (!lock.held()) {
+                warn("archive entry %s is unusable (%s); the archive "
+                     "is locked by a writer, leaving the file in "
+                     "place (read-only scan)",
+                     path.c_str(), e.what());
+                continue;
+            }
+            std::string aside = quarantineTarget(path);
+            if (fsOps().rename(path.c_str(), aside.c_str()) == 0) {
                 warn("archive entry %s is unusable (%s); "
                      "quarantined as %s",
                      path.c_str(), e.what(), aside.c_str());
                 out.quarantined.push_back(aside);
+                ++out.quarantinedPresent;
             } else {
                 warn("archive entry %s is unusable (%s) and could "
                      "not be quarantined: %s",
@@ -306,17 +326,26 @@ RunArchive::prune(int keep)
 {
     if (keep < 1)
         fatal("prune must keep at least one entry (got %d)", keep);
+    // Lock before scanning: two unlocked pruners would race to
+    // remove the same files and the loser would die on a vanished
+    // path. Holding the lock also makes the in-process scan() below
+    // read-only (its lazy tryAcquire fails), which is correct —
+    // entries it cannot read are not prunable anyway.
+    FileLock lock = FileLock::acquire(lockPath());
+    if (!lock.held())
+        fatal("archive %s is locked by another process (lock file "
+              "%s); giving up after retries",
+              dir_.c_str(), lockPath().c_str());
     ScanResult scanned = scan();
     int removed = 0;
     size_t n = scanned.entries.size();
     for (size_t i = 0; i + static_cast<size_t>(keep) < n; ++i) {
         const auto &e = scanned.entries[i];
-        std::error_code ec;
-        if (!fs::remove(e.path, ec) || ec)
+        if (fsOps().unlink(e.path.c_str()) != 0)
             fatal("cannot remove archive entry %s: %s",
-                  e.path.c_str(),
-                  ec ? ec.message().c_str() : "unknown error");
-        fs::remove(stateBackupPath(e.path), ec); // best-effort
+                  e.path.c_str(), std::strerror(errno));
+        // best-effort: a missing backup is no error
+        (void)fsOps().unlink(stateBackupPath(e.path).c_str());
         ++removed;
     }
     return removed;

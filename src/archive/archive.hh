@@ -15,6 +15,13 @@
  * `.bak` when one exists; when both copies are unusable the file is
  * quarantined — renamed aside with a warning — and the scan
  * continues, so one bad entry cannot take the whole archive down.
+ *
+ * Mutating operations (append, prune) serialize on an advisory
+ * `.lock` flock inside the directory, so two processes appending at
+ * once cannot assign the same id. Reads never block on the lock:
+ * a scan that would quarantine while another writer holds the lock
+ * degrades to read-only and leaves the damaged file for the next
+ * scan (or `rigorbench fsck`) to handle.
  */
 
 #ifndef RIGOR_ARCHIVE_ARCHIVE_HH
@@ -74,6 +81,12 @@ struct ScanResult
     std::vector<EntrySummary> entries;
     /** Files quarantined during this scan (renamed aside). */
     std::vector<std::string> quarantined;
+    /**
+     * Quarantined files the directory holds in total (earlier scans
+     * and fsck runs included), so `archive list` can point at damage
+     * even when this scan quarantined nothing new.
+     */
+    int quarantinedPresent = 0;
 };
 
 /**
@@ -92,12 +105,16 @@ class RunArchive
     /**
      * Append a new entry holding `runs` measured under `config`. The
      * directory is created if missing; the entry is written through
-     * the durable_io envelope (atomic replace + CRC-32).
+     * the durable_io envelope (atomic replace + CRC-32) under the
+     * archive lock, and orphaned `.tmp` staging files left by
+     * previously interrupted writes are swept first (after their ids
+     * are counted, so ids are still never reused).
      * `profiles`, when non-empty, must align with `runs` (one
      * behavior-profile document per run, explain::profileToJson).
      * @return the new entry's id.
-     * @throws FatalError on I/O failure, when runs is empty, or on a
-     * profiles/runs length mismatch.
+     * @throws FatalError on I/O failure, when runs is empty, on a
+     * profiles/runs length mismatch, or when the archive lock cannot
+     * be acquired within the retry budget.
      */
     int append(const Json &config, const std::string &label,
                const std::string &command,
@@ -130,10 +147,16 @@ class RunArchive
 
     /**
      * Delete all but the newest `keep` valid entries (their `.bak`
-     * files included). Quarantined files are kept for forensics.
+     * files included), under the archive lock. Quarantined files are
+     * kept for forensics.
      * @return the number of entries removed.
+     * @throws FatalError when the lock cannot be acquired within the
+     * retry budget.
      */
     int prune(int keep);
+
+    /** Path of the advisory lock file inside the archive. */
+    std::string lockPath() const;
 
   private:
     std::string entryPath(int id) const;

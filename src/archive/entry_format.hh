@@ -1,0 +1,118 @@
+/**
+ * @file
+ * On-disk naming rules of the run archive, shared by the archive
+ * proper and its fsck.
+ *
+ * An archive directory holds `entry-NNNNNN.json` state envelopes plus
+ * the sidecar files the durability machinery creates around them:
+ * `.bak` rotations, `.tmp` staging files from interrupted atomic
+ * writes, `.quarantine` copies of entries too damaged to read, and
+ * one `.lock` file for advisory inter-process locking. Everything
+ * that parses or constructs those names lives here so the archive and
+ * fsck can never disagree about what a filename means.
+ */
+
+#ifndef RIGOR_ARCHIVE_ENTRY_FORMAT_HH
+#define RIGOR_ARCHIVE_ENTRY_FORMAT_HH
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace rigor {
+namespace archive {
+
+inline constexpr const char *kEntryPrefix = "entry-";
+inline constexpr const char *kEntrySuffix = ".json";
+/** Suffix appended (possibly with ".2", ".3"...) when quarantining. */
+inline constexpr const char *kQuarantineSuffix = ".quarantine";
+/** Pre-fsck spelling, still recognized so old archives stay valid. */
+inline constexpr const char *kQuarantineSuffixLegacy = ".quarantined";
+/** Advisory lock file taken by append/prune/fsck --repair. */
+inline constexpr const char *kLockFileName = ".lock";
+
+/** Canonical filename of entry `id` (zero-padded to six digits). */
+inline std::string
+entryFileName(int id)
+{
+    return strprintf("%s%06d%s", kEntryPrefix, id, kEntrySuffix);
+}
+
+/**
+ * Parse an entry id out of a filename of the form entry-DIGITS.json;
+ * returns -1 for everything else (backups, temporaries, quarantined
+ * files, stray data). Non-canonical digit counts (entry-3.json) still
+ * parse — fsck flags them, the scanner must at least see them.
+ */
+inline int
+entryIdFromName(const std::string &name)
+{
+    if (!startsWith(name, kEntryPrefix) ||
+        !endsWith(name, kEntrySuffix))
+        return -1;
+    std::string digits = name.substr(
+        std::strlen(kEntryPrefix),
+        name.size() - std::strlen(kEntryPrefix) -
+            std::strlen(kEntrySuffix));
+    if (digits.empty() || digits.size() > 9)
+        return -1;
+    int id = 0;
+    for (char c : digits) {
+        if (c < '0' || c > '9')
+            return -1;
+        id = id * 10 + (c - '0');
+    }
+    return id;
+}
+
+/**
+ * Any id-bearing filename, *including* backup, temporary and
+ * quarantined copies (whatever trails the ".json" core). append()
+ * uses this so a pruned-then-quarantined id is never reused for a new
+ * entry — refs must stay unambiguous forever.
+ */
+inline int
+anyIdFromName(const std::string &name)
+{
+    auto pos = name.find(kEntrySuffix);
+    if (pos == std::string::npos)
+        return -1;
+    return entryIdFromName(
+        name.substr(0, pos + std::strlen(kEntrySuffix)));
+}
+
+/** True when `name` is a quarantined copy (either spelling). */
+inline bool
+isQuarantineName(const std::string &name)
+{
+    return name.find(kQuarantineSuffix) != std::string::npos;
+}
+
+/** True for an interrupted atomic write's staging file. */
+inline bool
+isTmpName(const std::string &name)
+{
+    return endsWith(name, ".tmp") && !isQuarantineName(name);
+}
+
+/**
+ * First free quarantine name for `path`: the plain suffix, then
+ * numbered variants, so repeated damage at one path never overwrites
+ * earlier forensic copies and re-quarantining is idempotent.
+ */
+inline std::string
+quarantineTarget(const std::string &path)
+{
+    std::string aside = path + kQuarantineSuffix;
+    for (int i = 2; std::filesystem::exists(aside); ++i)
+        aside = path + kQuarantineSuffix + "." + std::to_string(i);
+    return aside;
+}
+
+} // namespace archive
+} // namespace rigor
+
+#endif // RIGOR_ARCHIVE_ENTRY_FORMAT_HH

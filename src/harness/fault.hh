@@ -16,15 +16,26 @@
  * deadline), and a pathological noise regime (NoiseRamp, a
  * thermal-throttle-style linear slowdown the steady-state detector
  * must flag).
+ *
+ * A second family targets the durability stack instead of the
+ * measurement: `io:*` faults arm on FsOps calls (support/durable_io)
+ * rather than invocation attempts, making short writes, ENOSPC,
+ * fsync failures, torn renames and process death at an exact call
+ * index injectable from the same --inject flag — deterministic, so a
+ * crash-point torture harness can enumerate every call site.
  */
 
 #ifndef RIGOR_HARNESS_FAULT_HH
 #define RIGOR_HARNESS_FAULT_HH
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "support/durable_io.hh"
 
 namespace rigor {
 namespace harness {
@@ -69,12 +80,57 @@ struct FaultSpec
     double effectiveMagnitude() const;
 };
 
+/** What an I/O fault does to the FsOps call it arms on. */
+enum class IoFaultKind
+{
+    ShortWrite, ///< write() transfers at most `magnitude` bytes
+    Enospc,     ///< the call fails with ENOSPC (disk full)
+    TornRename, ///< rename() leaves a truncated destination
+    FsyncFail,  ///< fsync() fails with EIO
+    CrashAt,    ///< _exit() instead of performing call number `at`
+};
+
+/** Short name of an I/O fault kind ("short-write", "enospc", ...). */
+const char *ioFaultKindName(IoFaultKind k);
+
+/** Exit code of a process killed by an `io:crash-at=N` fault. */
+inline constexpr int kExitCrashInjected = 6;
+
+/** One I/O injection rule, armed on FsOps calls. */
+struct IoFaultSpec
+{
+    IoFaultKind kind = IoFaultKind::Enospc;
+    /**
+     * 1-based index among *matching* calls to fire at (required for
+     * crash-at; -1 for the other kinds means "the first maxTriggers
+     * matching calls").
+     */
+    int at = -1;
+    /** Matching calls that fire when `at` is unset. */
+    int maxTriggers = 1;
+    /** Per-call arming probability (seeded, deterministic). */
+    double probability = 1.0;
+    /**
+     * Operation filter: open|write|fsync|close|rename|unlink. Empty
+     * selects the kind's natural target (short-write/enospc -> write,
+     * fsync-fail -> fsync, torn-rename -> rename, crash-at -> every
+     * operation).
+     */
+    std::string op;
+    /** Substring the operation's path must contain ("" = any). */
+    std::string pathSubstr;
+    /** ShortWrite: max bytes per write() (0 selects the default 1). */
+    double magnitude = 0.0;
+};
+
 /** An ordered list of injection rules. */
 struct FaultPlan
 {
     std::vector<FaultSpec> faults;
+    /** I/O rules (`io:*` specs), armed on FsOps calls instead. */
+    std::vector<IoFaultSpec> ioFaults;
 
-    bool empty() const { return faults.empty(); }
+    bool empty() const { return faults.empty() && ioFaults.empty(); }
 
     /**
      * Parse one CLI fault spec of the form
@@ -89,7 +145,21 @@ struct FaultPlan
      */
     static FaultSpec parseSpec(const std::string &text);
 
-    /** Parse and append one spec. */
+    /**
+     * Parse one `io:` spec of the form
+     *
+     *   io:subkind[:key=value]...
+     *
+     * where subkind is short-write|enospc|torn-rename|fsync-fail|
+     * crash-at=N and keys are at=N (1-based matching-call index),
+     * n=COUNT, p=PROB, op=NAME, path=SUBSTR, mag=X.
+     * Examples: "io:crash-at=7", "io:enospc:at=3",
+     * "io:short-write:n=1000:mag=1", "io:torn-rename:path=entry-".
+     * @throws FatalError on malformed specs.
+     */
+    static IoFaultSpec parseIoSpec(const std::string &text);
+
+    /** Parse and append one spec (either family). */
     void add(const std::string &text);
 };
 
@@ -122,6 +192,50 @@ class FaultInjector
   private:
     FaultPlan plan_;
     uint64_t seed_;
+};
+
+/**
+ * An FsOps wrapper that injects the `io:*` fault kinds. Every call is
+ * counted in program order; a spec fires when its operation and path
+ * filters match, its `at` index (1-based among matching calls) or
+ * trigger budget allows, and its seeded probability draw passes — a
+ * pure function of (seed, spec, matching-call index), so the same
+ * command line fails the same call every run.
+ *
+ * CrashAt calls _exit(kExitCrashInjected) *instead of* performing the
+ * matching call, which models power loss at that exact point: nothing
+ * later in the process runs, no buffers flush, no destructors fire.
+ * Install with setFsOps() before durable work starts.
+ */
+class FaultyFsOps : public FsOps
+{
+  public:
+    explicit FaultyFsOps(std::vector<IoFaultSpec> faults,
+                         uint64_t seed = 0);
+
+    int open(const char *path, int flags, mode_t mode) override;
+    ssize_t write(int fd, const void *buf, size_t n) override;
+    int fsync(int fd) override;
+    int close(int fd) override;
+    int rename(const char *from, const char *to) override;
+    int unlink(const char *path) override;
+
+    /** Total FsOps calls observed (crash-point enumeration bound). */
+    uint64_t calls() const;
+
+  private:
+    /** First spec armed for this call, after counting it. */
+    const IoFaultSpec *arm(const char *op, const std::string &path);
+
+    std::vector<IoFaultSpec> faults_;
+    uint64_t seed_;
+    mutable std::mutex mu_;
+    uint64_t calls_ = 0;
+    /** Per-spec count of matching calls seen / faults fired. */
+    std::vector<int> matched_;
+    std::vector<int> fired_;
+    /** fd -> path, so path filters apply to fd-based operations. */
+    std::map<int, std::string> fdPaths_;
 };
 
 } // namespace harness

@@ -53,6 +53,69 @@ crc32(const std::string &s)
     return crc32(s.data(), s.size());
 }
 
+int
+FsOps::open(const char *path, int flags, mode_t mode)
+{
+    return ::open(path, flags, mode);
+}
+
+ssize_t
+FsOps::write(int fd, const void *buf, size_t n)
+{
+    return ::write(fd, buf, n);
+}
+
+int
+FsOps::fsync(int fd)
+{
+    return ::fsync(fd);
+}
+
+int
+FsOps::close(int fd)
+{
+    return ::close(fd);
+}
+
+int
+FsOps::rename(const char *from, const char *to)
+{
+    return ::rename(from, to);
+}
+
+int
+FsOps::unlink(const char *path)
+{
+    return ::unlink(path);
+}
+
+namespace {
+
+FsOps &
+defaultFsOps()
+{
+    static FsOps ops;
+    return ops;
+}
+
+FsOps *activeFsOps = nullptr;
+
+} // namespace
+
+FsOps &
+fsOps()
+{
+    return activeFsOps ? *activeFsOps : defaultFsOps();
+}
+
+FsOps *
+setFsOps(FsOps *ops)
+{
+    FsOps *prev = activeFsOps;
+    activeFsOps = ops;
+    return prev;
+}
+
 namespace {
 
 /** fsync the directory containing `path` so a rename is durable.
@@ -65,20 +128,24 @@ fsyncParentDir(const std::string &path)
     size_t slash = path.find_last_of('/');
     std::string dir =
         slash == std::string::npos ? "." : path.substr(0, slash + 1);
-    int fd = ::open(dir.c_str(), O_RDONLY);
+    FsOps &fs = fsOps();
+    int fd = fs.open(dir.c_str(), O_RDONLY, 0);
     if (fd < 0)
         return;
-    (void)::fsync(fd);
-    (void)::close(fd);
+    (void)fs.fsync(fd);
+    (void)fs.close(fd);
 }
 
 [[noreturn]] void
 writeFailed(const std::string &tmp, const char *step, int err,
             int fd)
 {
+    // Best-effort cleanup so a failed write does not leave a stale
+    // .tmp behind; a *crash* between the write and the rename still
+    // can, which is why archive append and fsck sweep for orphans.
     if (fd >= 0)
-        (void)::close(fd);
-    (void)::unlink(tmp.c_str());
+        (void)fsOps().close(fd);
+    (void)fsOps().unlink(tmp.c_str());
     fatal("atomic write failed: path=%s step=%s error=%s",
           tmp.c_str(), step, std::strerror(err));
 }
@@ -88,15 +155,18 @@ writeFailed(const std::string &tmp, const char *step, int err,
 void
 atomicWriteFile(const std::string &path, const std::string &content)
 {
+    FsOps &fs = fsOps();
+    // O_TRUNC doubles as the cleanup of a stale .tmp a crashed
+    // previous writer may have left at this path.
     std::string tmp = path + ".tmp";
-    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    int fd = fs.open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0)
         fatal("atomic write failed: path=%s step=open error=%s",
               tmp.c_str(), std::strerror(errno));
     size_t off = 0;
     while (off < content.size()) {
         ssize_t n =
-            ::write(fd, content.data() + off, content.size() - off);
+            fs.write(fd, content.data() + off, content.size() - off);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -104,11 +174,11 @@ atomicWriteFile(const std::string &path, const std::string &content)
         }
         off += static_cast<size_t>(n);
     }
-    if (::fsync(fd) != 0)
+    if (fs.fsync(fd) != 0)
         writeFailed(tmp, "fsync", errno, fd);
-    if (::close(fd) != 0)
+    if (fs.close(fd) != 0)
         writeFailed(tmp, "close", errno, -1);
-    if (::rename(tmp.c_str(), path.c_str()) != 0)
+    if (fs.rename(tmp.c_str(), path.c_str()) != 0)
         writeFailed(tmp, "rename", errno, -1);
     fsyncParentDir(path);
 }
@@ -203,6 +273,14 @@ verifyEnvelope(const std::string &text, Json *payload,
 
 } // namespace
 
+bool
+verifyStateText(const std::string &text, Json *payload,
+                std::string *why)
+{
+    std::string scratch;
+    return verifyEnvelope(text, payload, why ? why : &scratch);
+}
+
 void
 writeStateFile(const std::string &path, const Json &payload)
 {
@@ -217,7 +295,7 @@ writeStateFile(const std::string &path, const Json &payload)
     std::string prev, why;
     if (readFile(path, prev) && verifyEnvelope(prev, nullptr, &why)) {
         std::string bak = stateBackupPath(path);
-        if (::rename(path.c_str(), bak.c_str()) != 0)
+        if (fsOps().rename(path.c_str(), bak.c_str()) != 0)
             fatal("cannot rotate %s to %s: %s", path.c_str(),
                   bak.c_str(), std::strerror(errno));
     }

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <string>
 
+#include <sys/types.h>
+
 #include "support/json.hh"
 
 namespace rigor {
@@ -30,6 +32,45 @@ uint32_t crc32(const void *data, size_t len);
 
 /** CRC-32 of a string's bytes. */
 uint32_t crc32(const std::string &s);
+
+// --- filesystem-operation seam --------------------------------------
+
+/**
+ * The mutating filesystem operations every durable write goes
+ * through. The default implementation forwards to the real syscalls;
+ * tests and the `--inject io:*` fault framework install a wrapper
+ * that makes writes fail short, report ENOSPC, tear renames, or kill
+ * the process at an exact call index — so every crash-consistency
+ * guarantee this layer makes can be checked at every call site
+ * instead of trusted.
+ *
+ * Reads are deliberately outside the seam: all fault kinds model
+ * write-side failures, and keeping loads direct means a recovery path
+ * can never be starved by the very injector that created the damage.
+ */
+class FsOps
+{
+  public:
+    virtual ~FsOps() = default;
+
+    virtual int open(const char *path, int flags, mode_t mode);
+    virtual ssize_t write(int fd, const void *buf, size_t n);
+    virtual int fsync(int fd);
+    virtual int close(int fd);
+    virtual int rename(const char *from, const char *to);
+    virtual int unlink(const char *path);
+};
+
+/** The active seam (the process-wide default unless replaced). */
+FsOps &fsOps();
+
+/**
+ * Replace the process-wide FsOps (nullptr restores the default).
+ * @return the previously installed override (nullptr if default).
+ * Not thread-safe against concurrent durable writes; install before
+ * work starts, as the CLI does.
+ */
+FsOps *setFsOps(FsOps *ops);
 
 /**
  * Atomically replace `path` with `content`: the bytes are written to
@@ -94,6 +135,16 @@ struct StateLoad
  * usable.
  */
 StateLoad loadStateFile(const std::string &path);
+
+/**
+ * Non-throwing verification of one envelope's raw text, for callers
+ * (fsck, tests) that need to classify damage instead of recovering
+ * from it. On success fills `payload` (when non-null) and returns
+ * true; on any defect returns false with a one-line diagnosis in
+ * `why`.
+ */
+bool verifyStateText(const std::string &text, Json *payload,
+                     std::string *why);
 
 /** True when `path` or its `.bak` exists (resume should be tried). */
 bool stateFileExists(const std::string &path);

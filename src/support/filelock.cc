@@ -1,0 +1,88 @@
+#include "support/filelock.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include "support/durable_io.hh"
+#include "support/logging.hh"
+
+namespace rigor {
+
+FileLock::FileLock(FileLock &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_))
+{
+    other.path_.clear();
+}
+
+FileLock &
+FileLock::operator=(FileLock &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        fd_ = std::exchange(other.fd_, -1);
+        path_ = std::move(other.path_);
+        other.path_.clear();
+    }
+    return *this;
+}
+
+void
+FileLock::release()
+{
+    if (fd_ < 0)
+        return;
+    // closing the fd drops the flock; the lock file itself stays (a
+    // concurrent acquirer may already have it open, so unlinking
+    // would hand out two "exclusive" locks on different inodes).
+    (void)::close(fd_);
+    fd_ = -1;
+    path_.clear();
+}
+
+FileLock
+FileLock::tryAcquire(const std::string &path)
+{
+    // The open goes through the FsOps seam so crash-point enumeration
+    // covers "died while taking the lock" (the flock vanishes with
+    // the fd, so that crash point needs no recovery at all).
+    int fd = fsOps().open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        fatal("cannot create lock file %s: %s", path.c_str(),
+              std::strerror(errno));
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        int err = errno;
+        (void)::close(fd);
+        if (err == EWOULDBLOCK || err == EINTR)
+            return FileLock();
+        fatal("cannot lock %s: %s", path.c_str(),
+              std::strerror(err));
+    }
+    return FileLock(fd, path);
+}
+
+FileLock
+FileLock::acquire(const std::string &path, int maxRetries,
+                  double baseMs, double capMs)
+{
+    double delay = baseMs;
+    for (int attempt = 0;; ++attempt) {
+        FileLock lock = tryAcquire(path);
+        if (lock.held() || attempt >= maxRetries)
+            return lock;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay));
+        delay = std::min(delay * 2.0, capMs);
+    }
+}
+
+} // namespace rigor

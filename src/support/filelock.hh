@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Advisory file locking with bounded retry and capped exponential
+ * backoff.
+ *
+ * The archive must stay safe when two processes append at once: both
+ * compute the next entry id from a directory scan, so an unlocked
+ * race would assign the same id twice and one entry would clobber the
+ * other. A BSD flock(2) on a `.lock` file inside the directory makes
+ * the scan-then-write sequence atomic between cooperating writers,
+ * and — unlike pid files — releases itself when the holder exits or
+ * crashes, so a killed writer can never wedge the archive.
+ *
+ * Acquisition retries with the same capped-doubling backoff policy
+ * the harness uses for invocation retries (base doubling up to a
+ * cap), but in real time: lock contention is a property of the host,
+ * not of the modelled experiment.
+ */
+
+#ifndef RIGOR_SUPPORT_FILELOCK_HH
+#define RIGOR_SUPPORT_FILELOCK_HH
+
+#include <string>
+
+namespace rigor {
+
+/** RAII holder of one advisory flock; released on destruction. */
+class FileLock
+{
+  public:
+    FileLock() = default;
+    ~FileLock() { release(); }
+
+    FileLock(FileLock &&other) noexcept;
+    FileLock &operator=(FileLock &&other) noexcept;
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+    /** True when this object holds the lock. */
+    bool held() const { return fd_ >= 0; }
+
+    /** Path of the lock file ("" when not held). */
+    const std::string &path() const { return path_; }
+
+    /** Drop the lock (no-op when not held). */
+    void release();
+
+    /**
+     * One non-blocking acquisition attempt. Returns an unheld lock
+     * when another process (or another fd in this one) holds it.
+     * The lock file is created if missing; its content is irrelevant
+     * — only the flock matters, so a crashed holder leaves nothing
+     * stale behind.
+     * @throws FatalError when the lock file cannot be created.
+     */
+    static FileLock tryAcquire(const std::string &path);
+
+    /**
+     * Acquire with bounded retry: up to `maxRetries` further attempts
+     * after the first, sleeping a capped exponential backoff
+     * (baseMs, 2*baseMs, ... capped at capMs) between attempts.
+     * Returns an unheld lock when the budget is exhausted — the
+     * caller decides whether that is fatal.
+     */
+    static FileLock acquire(const std::string &path,
+                            int maxRetries = 100,
+                            double baseMs = 1.0,
+                            double capMs = 100.0);
+
+  private:
+    FileLock(int fd, std::string path)
+        : fd_(fd), path_(std::move(path))
+    {}
+
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace rigor
+
+#endif // RIGOR_SUPPORT_FILELOCK_HH

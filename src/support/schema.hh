@@ -55,6 +55,10 @@ inline constexpr const char *kExplainReportSchema =
     "rigorbench-explain";
 inline constexpr int kExplainReportVersion = 1;
 
+/** An archive fsck report (archive::fsckToJson). */
+inline constexpr const char *kFsckReportSchema = "rigorbench-fsck";
+inline constexpr int kFsckReportVersion = 1;
+
 } // namespace rigor
 
 #endif // RIGOR_SUPPORT_SCHEMA_HH

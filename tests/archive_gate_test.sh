@@ -85,7 +85,7 @@ rc=$?
 [ "$rc" -eq 0 ] || fail "archive list with a bad entry exited $rc"
 grep -q "quarantined" "$WORK/list.txt" ||
     fail "archive list did not report the quarantine"
-[ -e "$ARCH/entry-000900.json.quarantined" ] ||
+[ -e "$ARCH/entry-000900.json.quarantine" ] ||
     fail "bad entry was not renamed aside"
 [ ! -e "$ARCH/entry-000900.json" ] ||
     fail "bad entry still present after quarantine"

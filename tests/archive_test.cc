@@ -13,6 +13,7 @@
 
 #include "archive/archive.hh"
 #include "support/durable_io.hh"
+#include "support/filelock.hh"
 #include "support/fingerprint.hh"
 #include "support/logging.hh"
 
@@ -177,15 +178,18 @@ TEST(Archive, QuarantinesCorruptedEntriesAndKeepsScanning)
     ASSERT_EQ(scan.entries.size(), 1u);
     EXPECT_EQ(scan.entries[0].label, "good");
     ASSERT_EQ(scan.quarantined.size(), 1u);
-    EXPECT_NE(scan.quarantined[0].find(".quarantined"),
+    EXPECT_NE(scan.quarantined[0].find(".quarantine"),
               std::string::npos);
+    EXPECT_EQ(scan.quarantinedPresent, 1);
     // The quarantined bytes survive for forensics...
     std::ifstream aside(scan.quarantined[0]);
     EXPECT_TRUE(aside.good());
-    // ...and later scans are clean (the file was renamed aside).
+    // ...and later scans are clean (the file was renamed aside) but
+    // still report how many quarantined files the directory holds.
     ScanResult again = ar.scan();
     EXPECT_EQ(again.entries.size(), 1u);
     EXPECT_TRUE(again.quarantined.empty());
+    EXPECT_EQ(again.quarantinedPresent, 1);
 }
 
 TEST(Archive, TruncatedEntryFallsBackToBackupOrQuarantine)
@@ -228,6 +232,121 @@ TEST(Archive, TruncatedEntryFallsBackToBackupOrQuarantine)
     ASSERT_EQ(recovered.entries.size(), 1u);
     EXPECT_EQ(recovered.entries[0].label, "v2");
     EXPECT_TRUE(recovered.quarantined.empty());
+}
+
+TEST(Archive, QuarantineIsIdempotentAcrossRepeatedDamage)
+{
+    ScratchDir scratch;
+    RunArchive ar(scratch.dir());
+    ar.append(makeConfig(1), "", "run", {makeRun("sieve", 1.0)});
+    // Damage the same path twice (quarantine, then re-plant): the
+    // second quarantine must pick a fresh name, not clobber the
+    // first forensic copy.
+    for (int round = 0; round < 2; ++round) {
+        std::ofstream bad(scratch.path("entry-000001.json"),
+                          std::ios::trunc);
+        bad << "garbage round " << round;
+        bad.close();
+        ScanResult scan = ar.scan();
+        ASSERT_EQ(scan.quarantined.size(), 1u) << "round " << round;
+        EXPECT_EQ(scan.quarantinedPresent, round + 1);
+    }
+    std::string first, second;
+    ASSERT_TRUE(readFile(
+        scratch.path("entry-000001.json.quarantine"), first));
+    ASSERT_TRUE(readFile(
+        scratch.path("entry-000001.json.quarantine.2"), second));
+    EXPECT_NE(first, second);
+}
+
+TEST(Archive, AppendSweepsOrphanedTmpWithoutReusingItsId)
+{
+    ScratchDir scratch;
+    RunArchive ar(scratch.dir());
+    ar.append(makeConfig(1), "", "run", {makeRun("sieve", 1.0)});
+    // A crashed writer left entry 2's staging file behind: the next
+    // append must remove it, yet still count its id as taken.
+    {
+        std::ofstream tmp(scratch.path("entry-000002.json.tmp"));
+        tmp << "partial bytes from a dead process";
+    }
+    int id = ar.append(makeConfig(1), "", "run",
+                       {makeRun("sieve", 1.1)});
+    EXPECT_EQ(id, 3);
+    std::string dummy;
+    EXPECT_FALSE(
+        readFile(scratch.path("entry-000002.json.tmp"), dummy));
+}
+
+TEST(Archive, FutureVersionEntriesAreSkippedInPlace)
+{
+    ScratchDir scratch;
+    RunArchive ar(scratch.dir());
+    ar.append(makeConfig(1), "good", "run", {makeRun("sieve", 1.0)});
+    // Hand-craft an entry claiming a future schema version inside a
+    // valid envelope: a downgraded build must leave it alone.
+    Json payload = Json::object();
+    payload.set("schema", "rigorbench-archive-entry");
+    payload.set("version", 999);
+    payload.set("fingerprint", "f");
+    payload.set("command", "run");
+    payload.set("runs", Json::array());
+    writeStateFile(scratch.path("entry-000002.json"), payload);
+
+    ScanResult scan = ar.scan();
+    ASSERT_EQ(scan.entries.size(), 1u);
+    EXPECT_TRUE(scan.quarantined.empty());
+    std::string still;
+    EXPECT_TRUE(
+        readFile(scratch.path("entry-000002.json"), still));
+    // The future entry's id still counts for monotonicity.
+    EXPECT_EQ(ar.append(makeConfig(1), "", "run",
+                        {makeRun("sieve", 1.0)}),
+              3);
+}
+
+TEST(Archive, ScanUnderHeldLockIsReadOnly)
+{
+    ScratchDir scratch;
+    RunArchive ar(scratch.dir());
+    ar.append(makeConfig(1), "", "run", {makeRun("sieve", 1.0)});
+    {
+        std::ofstream bad(scratch.path("entry-000002.json"));
+        bad << "garbage";
+    }
+    // While a writer holds the lock, a scan that would quarantine
+    // degrades to read-only: the damaged file stays where it is.
+    FileLock held = FileLock::tryAcquire(ar.lockPath());
+    ASSERT_TRUE(held.held());
+    ScanResult scan = ar.scan();
+    ASSERT_EQ(scan.entries.size(), 1u);
+    EXPECT_TRUE(scan.quarantined.empty());
+    std::string still;
+    EXPECT_TRUE(readFile(scratch.path("entry-000002.json"), still));
+    held.release();
+
+    // Lock released: the next scan quarantines as usual.
+    ScanResult after = ar.scan();
+    EXPECT_EQ(after.quarantined.size(), 1u);
+}
+
+TEST(FileLockTest, ExclusionAndRelease)
+{
+    ScratchDir scratch;
+    std::string p = scratch.path(".lock");
+    FileLock a = FileLock::tryAcquire(p);
+    ASSERT_TRUE(a.held());
+    // flock is per open-file-description, so a second acquire in the
+    // same process conflicts just like another process would.
+    FileLock b = FileLock::tryAcquire(p);
+    EXPECT_FALSE(b.held());
+    // Bounded retry gives up (quickly here) instead of hanging.
+    FileLock c = FileLock::acquire(p, 3, 0.1, 0.4);
+    EXPECT_FALSE(c.held());
+    a.release();
+    EXPECT_FALSE(a.held());
+    FileLock d = FileLock::acquire(p);
+    EXPECT_TRUE(d.held());
 }
 
 TEST(Archive, PruneKeepsNewestAndNeverReusesIds)

@@ -1,0 +1,193 @@
+#!/usr/bin/env bash
+# Crash-consistency torture test for the rigorbench CLI.
+#
+# Drives the real binary through the io:* fault family end to end:
+#
+#  1. crash-point sweep: `--inject io:crash-at=N` kills an archiving
+#     run at FsOps call N, for every N until the run completes; after
+#     every crash the archive must hold 0 or 1 entries (never a torn
+#     one) and `fsck --repair` must leave it clean.
+#  2. suite crash + resume: a checkpointed suite killed at sampled
+#     crash points and resumed (without the fault) must reproduce the
+#     uninterrupted reference artifacts byte for byte — the io:* spec
+#     is excluded from the resume fingerprint by design.
+#  3. disk pressure: an injected ENOSPC mid-suite is a loud runtime
+#     failure (exit 2) naming the failing step, not a truncated file.
+#  4. concurrent writers: two simultaneous archiving runs serialize on
+#     the archive lock; both succeed, ids never collide.
+#  5. fsck CLI: every corruption class is reported (exit 5), repaired
+#     (exit 0), and a re-check stays clean; --json carries the stable
+#     schema; usage errors keep the stable exit codes.
+#
+# Usage: crash_torture_test.sh /path/to/rigorbench
+set -u
+
+BIN=${1:?usage: $0 /path/to/rigorbench}
+WORK=$(mktemp -d /tmp/rigor_torture_XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# Small on purpose: the sweep reruns this command dozens of times and
+# sanitizer builds run an order of magnitude slower.
+RUN_FLAGS=(run nbody --tier interp --invocations 1 --iterations 2
+           --seed 0xfeed --quiet)
+
+# --- 1. crash-point sweep over an archiving run ----------------------
+# The write path makes a small, bounded number of FsOps calls; the cap
+# only turns an unexpected livelock into a failure instead of a hang.
+SWEEP_CAP=60
+completed=0
+for n in $(seq 1 $SWEEP_CAP); do
+    dir="$WORK/sweep-$n"
+    "$BIN" "${RUN_FLAGS[@]}" --archive "$dir" \
+        --inject "io:crash-at=$n" >/dev/null 2>&1
+    rc=$?
+    if [ "$rc" -eq 0 ]; then
+        completed=1
+    elif [ "$rc" -ne 6 ]; then
+        fail "crash point $n exited $rc (want 6, or 0 when done)"
+    fi
+    "$BIN" fsck --archive "$dir" --repair >"$WORK/sweep-fsck.txt" \
+        2>&1 || fail "fsck --repair after crash point $n exited $?"
+    entries=$(ls "$dir"/entry-*.json 2>/dev/null | wc -l)
+    case "$entries" in
+        0|1) ;;
+        *) fail "crash point $n left $entries entries (want 0 or 1)" ;;
+    esac
+    if [ "$rc" -eq 0 ]; then
+        [ "$entries" -eq 1 ] ||
+            fail "completed run (crash point $n) lost its entry"
+        break
+    fi
+done
+[ "$completed" -eq 1 ] ||
+    fail "archiving run made more than $SWEEP_CAP FsOps calls"
+echo "ok: crash sweep completed at call $n, every point recovered"
+
+# --- 2. suite crash at sampled points, resume must be byte-identical -
+SUITE_FLAGS=(suite --invocations 2 --iterations 2 --seed 0xfeed
+             --checkpoint-every 2 --quiet)
+
+run_suite() { # run_suite <dir> [extra flags...]
+    local dir=$1
+    shift
+    mkdir -p "$dir"
+    "$BIN" "${SUITE_FLAGS[@]}" --jobs 1 \
+        --resume "$dir/state.json" --metrics "$dir/metrics.json" \
+        --trace "$dir/trace.json" "$@" \
+        >"$dir/stdout.txt" 2>"$dir/stderr.txt"
+}
+
+run_suite "$WORK/ref" || fail "reference suite run failed (rc=$?)"
+[ -s "$WORK/ref/state.json" ] || fail "reference wrote no state file"
+
+for n in 3 12 25; do
+    dir="$WORK/crash-$n"
+    run_suite "$dir" --inject "io:crash-at=$n"
+    rc=$?
+    [ "$rc" -eq 6 ] ||
+        fail "suite with io:crash-at=$n exited $rc (want 6)"
+    # Resume without the fault: the io:* spec must not change the
+    # resume fingerprint, and the artifacts must match the reference.
+    run_suite "$dir" || fail "resume after crash-at=$n exited $?"
+    for f in state.json metrics.json trace.json; do
+        cmp -s "$WORK/ref/$f" "$dir/$f" ||
+            fail "crash-at=$n: $f differs from the reference"
+    done
+done
+echo "ok: suite crash/resume byte-identical at every sampled point"
+
+# --- 3. injected ENOSPC is a loud runtime failure --------------------
+mkdir -p "$WORK/enospc"
+run_suite "$WORK/enospc" --inject io:enospc:at=1
+rc=$?
+[ "$rc" -eq 2 ] || fail "suite under ENOSPC exited $rc (want 2)"
+grep -q "atomic write failed" "$WORK/enospc/stderr.txt" ||
+    fail "ENOSPC failure did not name the failing write"
+
+# --- 4. two concurrent archiving runs serialize on the lock ----------
+ARCH="$WORK/shared"
+"$BIN" "${RUN_FLAGS[@]}" --archive "$ARCH" --label left \
+    >/dev/null 2>&1 &
+left=$!
+"$BIN" "${RUN_FLAGS[@]}" --archive "$ARCH" --label right \
+    >/dev/null 2>&1 &
+right=$!
+wait "$left" || fail "concurrent appender 'left' failed"
+wait "$right" || fail "concurrent appender 'right' failed"
+"$BIN" archive list --archive "$ARCH" >"$WORK/shared-list.txt" 2>&1 ||
+    fail "archive list after concurrent appends exited $?"
+grep -q "left" "$WORK/shared-list.txt" &&
+    grep -q "right" "$WORK/shared-list.txt" ||
+    fail "a concurrent append vanished from the listing"
+[ -e "$ARCH/entry-000001.json" ] && [ -e "$ARCH/entry-000002.json" ] ||
+    fail "concurrent appends did not produce ids 1 and 2"
+"$BIN" fsck --archive "$ARCH" >/dev/null 2>&1 ||
+    fail "fsck after concurrent appends exited $?"
+echo "ok: concurrent appenders serialized cleanly"
+
+# --- 5. fsck CLI: report (5), repair (0), stay clean (0) -------------
+FARCH="$WORK/fsckarch"
+"$BIN" "${RUN_FLAGS[@]}" --archive "$FARCH" >/dev/null 2>&1 ||
+    fail "seeding the fsck archive failed"
+"$BIN" "${RUN_FLAGS[@]}" --archive "$FARCH" >/dev/null 2>&1 ||
+    fail "seeding the fsck archive failed"
+# One of every repairable corruption class:
+cp "$FARCH/entry-000001.json" "$FARCH/entry-000001.json.bak"
+head -c 40 "$FARCH/entry-000001.json.bak" \
+    >"$FARCH/entry-000001.json"                  # corrupt-main
+echo "garbage" >"$FARCH/entry-000002.json"       # corrupt-entry
+echo "torn" >"$FARCH/entry-000003.json.tmp"      # orphan-tmp
+echo "stale" >"$FARCH/entry-000007.json.bak"     # orphan-bak
+
+"$BIN" fsck --archive "$FARCH" --json "$WORK/fsck.json" \
+    >"$WORK/fsck-verify.txt" 2>&1
+rc=$?
+[ "$rc" -eq 5 ] || fail "fsck on a damaged archive exited $rc (want 5)"
+for kind in corrupt-main corrupt-entry orphan-tmp orphan-bak; do
+    grep -q "$kind" "$WORK/fsck-verify.txt" ||
+        fail "fsck did not report $kind"
+done
+grep -q "re-run with --repair" "$WORK/fsck-verify.txt" ||
+    fail "fsck did not point at --repair"
+grep -q '"schema": "rigorbench-fsck"' "$WORK/fsck.json" ||
+    fail "fsck --json carries no schema field"
+# Verify-only must not have touched anything.
+[ -e "$FARCH/entry-000003.json.tmp" ] ||
+    fail "verify-only fsck removed a file"
+
+"$BIN" fsck --archive "$FARCH" --repair >"$WORK/fsck-repair.txt" 2>&1
+rc=$?
+[ "$rc" -eq 0 ] || fail "fsck --repair exited $rc (want 0)"
+grep -q "restored from backup" "$WORK/fsck-repair.txt" ||
+    fail "repair did not restore from the backup"
+[ ! -e "$FARCH/entry-000003.json.tmp" ] ||
+    fail "repair did not sweep the orphaned .tmp"
+[ -e "$FARCH/entry-000002.json.quarantine" ] ||
+    fail "repair did not quarantine the damaged entry"
+"$BIN" fsck --archive "$FARCH" >"$WORK/fsck-clean.txt" 2>&1 ||
+    fail "re-check after repair exited $? (want 0)"
+grep -q "archive is clean" "$WORK/fsck-clean.txt" ||
+    fail "repaired archive not reported clean"
+# The restored entry is loadable and the listing flags the quarantine.
+"$BIN" archive list --archive "$FARCH" >"$WORK/fsck-list.txt" 2>&1 ||
+    fail "archive list after repair exited $?"
+grep -q "quarantined file(s) present" "$WORK/fsck-list.txt" ||
+    fail "archive list does not point at the quarantine"
+
+# --- stable exit codes for fsck usage errors -------------------------
+"$BIN" fsck >/dev/null 2>&1
+rc=$?
+[ "$rc" -eq 1 ] || fail "fsck without --archive exited $rc (want 1)"
+"$BIN" fsck --archive "$WORK/no-such-dir" >/dev/null 2>&1
+rc=$?
+[ "$rc" -eq 2 ] || fail "fsck on a missing dir exited $rc (want 2)"
+"$BIN" run nbody --repair >/dev/null 2>&1
+rc=$?
+[ "$rc" -eq 1 ] || fail "--repair outside fsck exited $rc (want 1)"
+
+echo "PASS: crash-consistency torture"

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "archive/archive.hh"
@@ -421,7 +423,7 @@ TEST(Archive, LegacyV1EntryStillLoads)
     EXPECT_TRUE(e.profiles.empty());
 }
 
-TEST(Archive, FutureEntryVersionIsRejected)
+TEST(Archive, FutureEntryVersionIsSkippedInPlace)
 {
     ScratchDir scratch;
     Json config = Json::object();
@@ -433,13 +435,16 @@ TEST(Archive, FutureEntryVersionIsRejected)
     payload.set("command", "run");
     payload.set("config", config);
     payload.set("runs", Json::array());
-    writeStateFile(scratch.path("entry-000001.json"), payload);
+    std::string path = scratch.path("entry-000001.json");
+    writeStateFile(path, payload);
 
     archive::RunArchive ar(scratch.dir());
-    // The unreadable future entry is quarantined, not fatal.
+    // The healthy-but-newer entry is not damage: the scan skips it
+    // with a warning and leaves the newer build's data untouched.
     archive::ScanResult scan = ar.scan();
     EXPECT_TRUE(scan.entries.empty());
-    EXPECT_EQ(scan.quarantined.size(), 1u);
+    EXPECT_TRUE(scan.quarantined.empty());
+    EXPECT_EQ(::access(path.c_str(), F_OK), 0);
 }
 
 TEST(Gate, RegressionsOrderedWorstFirst)

@@ -75,6 +75,65 @@ TEST(FaultPlan, RejectsMalformedSpecs)
     EXPECT_THROW(FaultPlan::parseSpec("throw:bogus=1"), FatalError);
 }
 
+TEST(FaultPlan, ParsesIoSpecs)
+{
+    IoFaultSpec s = FaultPlan::parseIoSpec("io:crash-at=7");
+    EXPECT_EQ(s.kind, IoFaultKind::CrashAt);
+    EXPECT_EQ(s.at, 7);
+    EXPECT_TRUE(s.op.empty());
+
+    s = FaultPlan::parseIoSpec("io:enospc:at=3:op=fsync");
+    EXPECT_EQ(s.kind, IoFaultKind::Enospc);
+    EXPECT_EQ(s.at, 3);
+    EXPECT_EQ(s.op, "fsync");
+
+    s = FaultPlan::parseIoSpec("io:short-write:n=1000:mag=1");
+    EXPECT_EQ(s.kind, IoFaultKind::ShortWrite);
+    EXPECT_EQ(s.maxTriggers, 1000);
+    EXPECT_DOUBLE_EQ(s.magnitude, 1.0);
+
+    s = FaultPlan::parseIoSpec("io:torn-rename:path=entry-");
+    EXPECT_EQ(s.kind, IoFaultKind::TornRename);
+    EXPECT_EQ(s.pathSubstr, "entry-");
+
+    s = FaultPlan::parseIoSpec("io:fsync-fail:p=0.5");
+    EXPECT_EQ(s.kind, IoFaultKind::FsyncFail);
+    EXPECT_DOUBLE_EQ(s.probability, 0.5);
+
+    // FaultPlan::add routes the two spec families apart.
+    FaultPlan plan;
+    plan.add("throw:wl=sieve");
+    plan.add("io:crash-at=2");
+    EXPECT_EQ(plan.faults.size(), 1u);
+    EXPECT_EQ(plan.ioFaults.size(), 1u);
+    EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, RejectsMalformedIoSpecs)
+{
+    EXPECT_THROW(FaultPlan::parseIoSpec("io:"), FatalError);
+    EXPECT_THROW(FaultPlan::parseIoSpec("io:explode"), FatalError);
+    EXPECT_THROW(FaultPlan::parseIoSpec("io:crash-at=0"),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parseIoSpec("io:crash-at=x"),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parseIoSpec("io:enospc:at=0"),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parseIoSpec("io:enospc:op=read"),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parseIoSpec("io:enospc:p=2"),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parseIoSpec("io:enospc:bogus=1"),
+                 FatalError);
+    // Kind/op combinations that would silently do nothing.
+    EXPECT_THROW(FaultPlan::parseIoSpec("io:torn-rename:op=write"),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parseIoSpec("io:short-write:op=fsync"),
+                 FatalError);
+    EXPECT_THROW(FaultPlan::parseIoSpec("io:fsync-fail:op=write"),
+                 FatalError);
+}
+
 TEST(FaultInjector, TargetingFilters)
 {
     auto inj = injectorFor("throw:wl=sieve:inv=1:n=2");

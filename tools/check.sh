@@ -66,4 +66,8 @@ bash tests/tier_roundtrip_test.sh ./build/tools/rigorbench
 bash tests/tier_roundtrip_test.sh ./build-asan/tools/rigorbench
 bash tests/tier_roundtrip_test.sh ./build-nocg/tools/rigorbench
 
+echo "== crash torture (io:* crash sweep, ENOSPC, locks, fsck) =="
+bash tests/crash_torture_test.sh ./build/tools/rigorbench
+bash tests/crash_torture_test.sh ./build-asan/tools/rigorbench
+
 echo "all checks passed"

@@ -14,6 +14,7 @@
  *   rigorbench gate <baseline> [<candidate>] --archive DIR
  *   rigorbench explain <baseline> <candidate> --archive DIR
  *   rigorbench archive list|prune --archive DIR
+ *   rigorbench fsck --archive DIR [--repair]
  *   rigorbench help
  *
  * Common options:
@@ -42,7 +43,14 @@
  *   --inject SPEC            inject a fault (repeatable); SPEC is
  *                            kind[:key=value]... with kind one of
  *                            throw|checksum|stall|ramp and keys
- *                            wl=NAME inv=N n=COUNT p=PROB mag=X
+ *                            wl=NAME inv=N n=COUNT p=PROB mag=X;
+ *                            or an I/O fault io:subkind[:key=value]...
+ *                            with subkind one of short-write|enospc|
+ *                            torn-rename|fsync-fail|crash-at=N and
+ *                            keys at=N n=COUNT p=PROB op=NAME
+ *                            path=SUBSTR mag=X (armed on the durable-
+ *                            I/O operations; crash-at kills the
+ *                            process with exit 6 at matching call N)
  *   --max-retries N          retries per invocation (default 2)
  *   --deadline-ms X          per-invocation modelled-time deadline
  *
@@ -66,6 +74,15 @@
  *   --confidence C           interval confidence (default 0.95)
  *   --gate-threshold PCT     gate regression threshold (default 5)
  *   --keep N                 (archive prune) entries to keep
+ *   fsck --archive DIR       verify every file in the archive (CRC
+ *                            envelopes, schema versions, naming,
+ *                            orphaned temporaries/backups); exit 5
+ *                            when corruption is found
+ *   --repair                 (fsck) fix what is mechanically fixable:
+ *                            restore from valid backups, sweep
+ *                            orphaned temporaries, quarantine the
+ *                            rest; exit 0 when the archive is clean
+ *                            afterwards
  *   --base-tier T --cand-tier T
  *                            (compare/gate/explain on archives)
  *                            cross-tier pairing: baseline runs on
@@ -93,6 +110,10 @@
  *      --resume was given
  *   4  regression: gate found a workload slower than the baseline
  *      beyond the threshold at the configured confidence
+ *   5  corruption: fsck found (or could not repair) archive damage
+ *   6  injected crash: an io:crash-at fault killed the process at
+ *      the requested call (torture harnesses rely on this code to
+ *      tell an injected crash from a real failure)
  */
 
 #include <array>
@@ -109,6 +130,7 @@
 #include <vector>
 
 #include "archive/archive.hh"
+#include "archive/fsck.hh"
 #include "compare/compare.hh"
 #include "explain/behavior_profile.hh"
 #include "explain/explain.hh"
@@ -140,6 +162,10 @@ constexpr int kExitUsage = 1;
 constexpr int kExitFailure = 2;
 /** `gate` found a regression beyond the threshold. */
 constexpr int kExitRegression = 4;
+/** `fsck` found corruption (or failed to repair it). */
+constexpr int kExitCorruption = 5;
+// kExitCrashInjected (6) lives in harness/fault.hh with the
+// io:crash-at machinery that uses it.
 
 struct Options
 {
@@ -180,6 +206,8 @@ struct Options
     int keep = 0;
     /** `gate --explain`: attribute every failing pair. */
     bool explainGate = false;
+    /** `fsck --repair`: fix what is mechanically fixable. */
+    bool repair = false;
 
     // Observability sinks, shared by every run of the command
     // (not owned; set up in main when requested).
@@ -211,6 +239,8 @@ printUsage(std::FILE *out)
         "                            behavior components\n"
         "                            (needs --archive DIR)\n"
         "  archive list|prune        inspect / trim an archive\n"
+        "  fsck                      verify an archive (--repair to\n"
+        "                            fix); needs --archive DIR\n"
         "  help                      this text\n"
         "\n"
         "entry refs: HEAD, HEAD~N, a decimal id, or a --label name\n"
@@ -225,12 +255,15 @@ printUsage(std::FILE *out)
         "--quiet\n"
         "         --archive DIR --label NAME --resamples N "
         "--confidence C\n"
-        "         --gate-threshold PCT --keep N --explain\n"
+        "         --gate-threshold PCT --keep N --explain "
+        "--repair\n"
         "         --base-tier TIER --cand-tier TIER\n"
         "\n"
         "exit codes: 0 success, 1 usage error, 2 runtime failure,\n"
         "            3 interrupted (resumable with --resume),\n"
-        "            4 regression detected by gate\n");
+        "            4 regression detected by gate,\n"
+        "            5 corruption found by fsck,\n"
+        "            6 injected crash (io:crash-at fault)\n");
 }
 
 [[noreturn]] void
@@ -413,6 +446,8 @@ parseArgs(int argc, char **argv)
                 static_cast<int>(parseInt("--keep", next(), 1));
         } else if (a == "--explain") {
             opt.explainGate = true;
+        } else if (a == "--repair") {
+            opt.repair = true;
         } else {
             usage();
         }
@@ -434,6 +469,14 @@ parseArgs(int argc, char **argv)
     if (opt.explainGate && opt.command != "gate")
         fatal("--explain only applies to 'gate' (use the 'explain' "
               "command for a standalone report)");
+    if (opt.repair && opt.command != "fsck")
+        fatal("--repair only applies to 'fsck'");
+    if (opt.command == "fsck" && !opt.workload.empty())
+        fatal("fsck takes no positional argument (got '%s'); the "
+              "archive comes from --archive DIR",
+              opt.workload.c_str());
+    if (opt.command == "fsck" && opt.archiveDir.empty())
+        fatal("fsck requires --archive DIR");
     if (opt.baseTier.empty() != opt.candTier.empty())
         fatal("cross-tier comparison needs both --base-tier and "
               "--cand-tier (got baseline '%s', candidate '%s')",
@@ -703,8 +746,13 @@ configJson(const Options &opt)
     // instants in the trace, so it changes artifact bytes.
     c.set("quiet", opt.quiet);
     Json inj = Json::array();
+    // io:* specs are excluded: they perturb the durability layer,
+    // never the measurements, and the main reason to resume is a
+    // crash one of them injected — the resume command won't (and must
+    // not need to) repeat the flag.
     for (const auto &s : opt.injectSpecs)
-        inj.push(s);
+        if (!startsWith(s, "io:"))
+            inj.push(s);
     c.set("inject", std::move(inj));
     return c;
 }
@@ -961,6 +1009,12 @@ runSuiteWorkload(const workloads::WorkloadSpec &w, const Options &opt,
         if (!opt.archiveDir.empty())
             for (auto &r : runs)
                 step.runs.push_back(std::move(r));
+    } catch (const FatalError &) {
+        // Infrastructure failure (a checkpoint write died on a full
+        // disk, say), not a workload failure: recording it as
+        // "workload failed" would let the suite carry on without the
+        // durability the user asked for. Abort loudly instead.
+        throw;
     } catch (const std::exception &e) {
         if (ckpt)
             ckpt->endWorkload();
@@ -1080,6 +1134,10 @@ resumeSuiteWorkload(const workloads::WorkloadSpec &w,
         if (ckpt)
             ckpt->endWorkload();
         finishWorkloadState(step.ws, runs[0], runs[1], runs[2]);
+    } catch (const FatalError &) {
+        // As in runSuiteWorkload: a dead checkpoint write must stop
+        // the suite, not degrade to a "failed" workload.
+        throw;
     } catch (const std::exception &e) {
         if (ckpt)
             ckpt->endWorkload();
@@ -1443,6 +1501,10 @@ cmdArchive(const Options &opt)
         if (!scan.quarantined.empty())
             std::printf(", %zu quarantined this scan",
                         scan.quarantined.size());
+        if (scan.quarantinedPresent > 0)
+            std::printf(", %d quarantined file(s) present "
+                        "(see 'rigorbench fsck')",
+                        scan.quarantinedPresent);
         std::printf("\n");
         return kExitSuccess;
     }
@@ -1457,6 +1519,24 @@ cmdArchive(const Options &opt)
     }
     fatal("unknown archive action '%s' (expected list or prune)",
           opt.workload.c_str());
+}
+
+/** `fsck --archive DIR [--repair]`: verify / repair an archive. */
+int
+cmdFsck(const Options &opt)
+{
+    archive::FsckReport report =
+        archive::fsckArchive(opt.archiveDir, opt.repair, opt.metrics);
+    std::printf("%s", archive::renderFsck(report).c_str());
+    if (!opt.jsonPath.empty()) {
+        atomicWriteFile(opt.jsonPath,
+                        archive::fsckToJson(report).dump(2) + "\n");
+        std::printf("wrote %s\n", opt.jsonPath.c_str());
+    }
+    // The verdict is about the archive's state *now*: a repaired
+    // archive exits 0 even though defects were found, an unrepaired
+    // (or unrepairable) one exits 5 so scripts can gate on it.
+    return report.clean() ? kExitSuccess : kExitCorruption;
 }
 
 /** Flush --metrics / --trace files after the command finished. */
@@ -1499,6 +1579,8 @@ dispatch(const Options &opt, const harness::FaultInjector *faults)
         return cmdExplain(opt);
     if (opt.command == "archive")
         return cmdArchive(opt);
+    if (opt.command == "fsck")
+        return cmdFsck(opt);
     if (opt.command == "sequential")
         return cmdSequential(opt, faults);
     if (opt.command == "profile")
@@ -1527,11 +1609,20 @@ main(int argc, char **argv)
         harness::FaultInjector injector(opt.faultPlan, opt.seed);
         const harness::FaultInjector *faults =
             opt.faultPlan.empty() ? nullptr : &injector;
+        // io:* faults arm on durable-I/O calls, not invocations, so
+        // they install into the process-wide FsOps seam before any
+        // durable work starts. Never uninstalled: the injector must
+        // outlive every write, including the observability flush.
+        harness::FaultyFsOps faultyFs(opt.faultPlan.ioFaults,
+                                      opt.seed);
+        if (!opt.faultPlan.ioFaults.empty())
+            setFsOps(&faultyFs);
         if (opt.command == "list")
             return cmdList();
         if (opt.command == "env")
             return cmdEnv();
-        if (opt.workload.empty() && opt.command != "suite")
+        if (opt.workload.empty() && opt.command != "suite" &&
+            opt.command != "fsck")
             usage();
 
         MetricsRegistry metrics;
