@@ -57,6 +57,12 @@ summaryFromPayload(const Json &payload, int id,
         for (size_t i = 0; i < profiles->size(); ++i)
             if (!profiles->at(i).isNull())
                 ++s.profileCount;
+    // The config's tier list, for machine-readable listings. Guarded:
+    // a hand-built or future entry without one still lists.
+    if (const Json *config = payload.get("config"))
+        if (const Json *tiers = config->get("tiers"))
+            for (size_t i = 0; i < tiers->size(); ++i)
+                s.tiers.push_back(tiers->at(i).asString());
     std::error_code ec;
     uintmax_t size = fs::file_size(path, ec);
     s.sizeBytes = ec ? 0 : static_cast<uint64_t>(size);

@@ -55,6 +55,8 @@ struct EntrySummary
     int profileCount = 0;
     /** On-disk size of the entry file in bytes. */
     uint64_t sizeBytes = 0;
+    /** Tiers the entry's configuration names (archived order). */
+    std::vector<std::string> tiers;
 };
 
 /** One fully-loaded archive entry. */

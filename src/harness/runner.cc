@@ -411,6 +411,8 @@ commitSlot(const workloads::WorkloadSpec &spec,
 bool
 afterCommit(const RunnerConfig &config, RunResult &run)
 {
+    if (config.onProgress)
+        config.onProgress(run);
     bool stop = interruptRequested();
     if (config.onCheckpoint &&
         (stop ||
@@ -488,7 +490,15 @@ extendParallel(const workloads::WorkloadSpec &spec,
     std::atomic<int> next{0};
     std::atomic<bool> cancelled{false};
 
+    // Workers inherit the spawning thread's effective quiet state:
+    // a per-thread quiet override (the serve daemon's way of honoring
+    // one job's --quiet among concurrently streaming jobs) must apply
+    // to the worker-side warnTraced() calls too, or a quiet parallel
+    // job would mirror log instants into the trace that a quiet
+    // serial run suppresses.
+    const bool parentQuiet = quietEnabled();
     auto workerMain = [&]() {
+        bool prevQuiet = setThreadQuiet(parentQuiet);
         // Each worker compiles its own program: compiled constants
         // hold refcounted Values, and refcounts are not atomic, so a
         // Program must never be shared across threads.
@@ -527,6 +537,7 @@ extendParallel(const workloads::WorkloadSpec &spec,
             }
             cv.notify_all();
         }
+        setThreadQuiet(prevQuiet);
     };
 
     int nthreads = std::min(config.jobs, n);

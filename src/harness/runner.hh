@@ -136,6 +136,18 @@ struct RunnerConfig
      * callback is race-free.
      */
     std::function<void(const RunResult &)> onCheckpoint;
+
+    // --- progress ----------------------------------------------------
+
+    /**
+     * Called after *every* committed invocation slot, on the
+     * committing thread, before onCheckpoint. Purely observational:
+     * the serve daemon streams these as per-job progress events to
+     * subscribed clients. Must not mutate the run or touch the
+     * metrics/trace sinks in ways that alter artifacts — byte-identity
+     * between hooked and unhooked runs is part of the contract.
+     */
+    std::function<void(const RunResult &)> onProgress;
 };
 
 /**

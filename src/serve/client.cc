@@ -1,0 +1,283 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "serve/jobrun.hh"
+#include "serve/protocol.hh"
+#include "support/durable_io.hh"
+#include "support/interrupt.hh"
+#include "support/logging.hh"
+#include "support/unix_socket.hh"
+
+namespace rigor {
+namespace serve {
+
+namespace {
+
+std::unique_ptr<LineChannel>
+dial(const std::string &socketPath)
+{
+    if (socketPath.empty())
+        fatal("this command talks to a daemon; pass --socket PATH");
+    int fd = connectUnixSocket(socketPath);
+    if (fd < 0) {
+        warn("no daemon at %s: %s", socketPath.c_str(),
+             std::strerror(errno));
+        return nullptr;
+    }
+    return std::unique_ptr<LineChannel>(new LineChannel(fd));
+}
+
+/** One request/response exchange. False when the daemon vanished. */
+bool
+roundTrip(LineChannel &ch, const Json &req, Json &resp)
+{
+    if (!ch.writeLine(req.dump()))
+        return false;
+    std::string line;
+    if (!ch.readLine(line))
+        return false;
+    resp = Json::parse(line);
+    checkProtocolHeader(resp);
+    return true;
+}
+
+int
+lostDaemon(const std::string &socketPath)
+{
+    warn("lost the connection to the daemon at %s",
+         socketPath.c_str());
+    return kExitServeUnavailable;
+}
+
+/**
+ * Report a daemon error response and map its machine code to an exit
+ * code: admission refusals are kExitRejected (scripts retry or fall
+ * back to the one-shot CLI), malformed requests are usage errors,
+ * anything else is a plain failure.
+ */
+int
+reportError(const Json &resp)
+{
+    std::string code = resp.at("error").asString();
+    warn("daemon refused: %s [%s]",
+         resp.at("message").asString().c_str(), code.c_str());
+    if (code == "queue-full" || code == "io-fault-rejected" ||
+        code == "shutting-down")
+        return kExitRejected;
+    if (code == "bad-request" || code == "unknown-op")
+        return kExitUsage;
+    return kExitFailure;
+}
+
+LogLevel
+levelFromName(const std::string &name)
+{
+    return name == "warn" ? LogLevel::Warn : LogLevel::Info;
+}
+
+/** Forward one streamed event to this process's stdout/stderr. */
+void
+replayEvent(const Json &ev, const std::string &kind)
+{
+    if (kind == "output") {
+        const std::string &chunk = ev.at("chunk").asString();
+        std::fwrite(chunk.data(), 1, chunk.size(), stdout);
+        std::fflush(stdout);
+    } else if (kind == "log") {
+        // Through the normal sink chain, so the replay is
+        // indistinguishable from the message having been emitted
+        // locally (same "level: msg" stderr format, same quiet rule).
+        emitLogMessage(levelFromName(ev.at("level").asString()),
+                       ev.at("message").asString());
+    }
+    // "progress" and "done" events carry nothing the streamed report
+    // does not already say; they exist for non-waiting observers.
+}
+
+} // namespace
+
+int
+submitJob(const std::string &socketPath, const JobSpec &spec,
+          const SubmitOptions &opts)
+{
+    auto ch = dial(socketPath);
+    if (!ch)
+        return kExitServeUnavailable;
+    Json req = makeRequest("submit");
+    req.set("job", jobSpecToJson(spec));
+    req.set("priority", opts.priority);
+    if (!opts.client.empty())
+        req.set("client", opts.client);
+    req.set("wait", opts.wait);
+    Json ack;
+    if (!roundTrip(*ch, req, ack))
+        return lostDaemon(socketPath);
+    if (!ack.at("ok").asBool())
+        return reportError(ack);
+    int id = static_cast<int>(ack.at("job_id").asInt());
+    if (!opts.wait) {
+        std::printf("submitted job #%d\n", id);
+        return kExitSuccess;
+    }
+
+    std::string line;
+    while (ch->readLine(line)) {
+        Json msg = Json::parse(line);
+        checkProtocolHeader(msg);
+        if (const Json *ev = msg.get("event")) {
+            replayEvent(msg, ev->asString());
+            continue;
+        }
+        // The final response: the job's result, or the daemon
+        // announcing it is stopping with the job persisted.
+        if (!msg.at("ok").asBool()) {
+            std::string code = msg.at("error").asString();
+            warn("%s", msg.at("message").asString().c_str());
+            return code == "daemon-stopping" ? kExitInterrupted
+                                             : kExitFailure;
+        }
+        return static_cast<int>(msg.at("exit_code").asInt());
+    }
+    return lostDaemon(socketPath);
+}
+
+int
+requestStatus(const std::string &socketPath, int jobId)
+{
+    auto ch = dial(socketPath);
+    if (!ch)
+        return kExitServeUnavailable;
+    Json req = makeRequest("status");
+    if (jobId >= 0)
+        req.set("job_id", jobId);
+    Json resp;
+    if (!roundTrip(*ch, req, resp))
+        return lostDaemon(socketPath);
+    if (!resp.at("ok").asBool())
+        return reportError(resp);
+
+    if (jobId >= 0) {
+        const Json &j = resp.at("job");
+        std::printf("job #%d: %s\n",
+                    static_cast<int>(j.at("id").asInt()),
+                    j.at("state").asString().c_str());
+        std::printf("  priority: %d\n",
+                    static_cast<int>(j.at("priority").asInt()));
+        if (!j.at("client").asString().empty())
+            std::printf("  client: %s\n",
+                        j.at("client").asString().c_str());
+        int rc = static_cast<int>(j.at("exit_code").asInt());
+        if (rc >= 0)
+            std::printf("  exit code: %d\n", rc);
+        int archiveId =
+            static_cast<int>(j.at("archive_id").asInt());
+        if (archiveId >= 0)
+            std::printf("  archive entry: #%d\n", archiveId);
+        if (const Json *err = j.get("error"))
+            std::printf("  error: %s\n", err->asString().c_str());
+        const std::string &output = j.at("output").asString();
+        if (!output.empty()) {
+            std::printf("--- report ---\n");
+            std::fwrite(output.data(), 1, output.size(), stdout);
+        }
+        return kExitSuccess;
+    }
+
+    const Json &jobs = resp.at("jobs");
+    std::printf("%4s  %-11s  %-7s  %-12s  %4s  %s\n", "id", "state",
+                "cmd", "client", "prio", "result");
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const Json &j = jobs.at(i);
+        int rc = static_cast<int>(j.at("exit_code").asInt());
+        int archiveId =
+            static_cast<int>(j.at("archive_id").asInt());
+        std::string result;
+        if (archiveId >= 0)
+            result = strprintf("exit %d, archive #%d", rc,
+                               archiveId);
+        else if (rc >= 0)
+            result = strprintf("exit %d", rc);
+        std::printf("%4d  %-11s  %-7s  %-12s  %4d  %s\n",
+                    static_cast<int>(j.at("id").asInt()),
+                    j.at("state").asString().c_str(),
+                    j.at("command").asString().c_str(),
+                    j.at("client").asString().c_str(),
+                    static_cast<int>(j.at("priority").asInt()),
+                    result.c_str());
+    }
+    std::printf("%lld queued, %lld running (max queue %lld, max "
+                "active %lld)%s\n",
+                static_cast<long long>(resp.at("queued").asInt()),
+                static_cast<long long>(resp.at("running").asInt()),
+                static_cast<long long>(resp.at("max_queue").asInt()),
+                static_cast<long long>(
+                    resp.at("max_active").asInt()),
+                resp.at("draining").asBool() ? " [draining]" : "");
+    return kExitSuccess;
+}
+
+int
+cancelJob(const std::string &socketPath, int jobId)
+{
+    auto ch = dial(socketPath);
+    if (!ch)
+        return kExitServeUnavailable;
+    Json req = makeRequest("cancel");
+    req.set("job_id", jobId);
+    Json resp;
+    if (!roundTrip(*ch, req, resp))
+        return lostDaemon(socketPath);
+    if (!resp.at("ok").asBool())
+        return reportError(resp);
+    std::printf("cancelled job #%d\n", jobId);
+    return kExitSuccess;
+}
+
+int
+shutdownDaemon(const std::string &socketPath, bool now)
+{
+    auto ch = dial(socketPath);
+    if (!ch)
+        return kExitServeUnavailable;
+    Json req = makeRequest("shutdown");
+    req.set("mode", now ? "now" : "drain");
+    Json resp;
+    if (!roundTrip(*ch, req, resp))
+        return lostDaemon(socketPath);
+    if (!resp.at("ok").asBool())
+        return reportError(resp);
+    std::printf("daemon shutting down (%s)\n",
+                resp.at("mode").asString().c_str());
+    return kExitSuccess;
+}
+
+int
+remoteQuery(const std::string &socketPath, const QuerySpec &query,
+            const std::string &jsonPath)
+{
+    auto ch = dial(socketPath);
+    if (!ch)
+        return kExitServeUnavailable;
+    Json req = makeRequest("query");
+    req.set("query", querySpecToJson(query));
+    Json resp;
+    if (!roundTrip(*ch, req, resp))
+        return lostDaemon(socketPath);
+    if (!resp.at("ok").asBool())
+        return reportError(resp);
+    // Render exactly as the local command would: report text, then
+    // the optional JSON artifact with its "wrote" confirmation.
+    std::fputs(resp.at("text").asString().c_str(), stdout);
+    if (!jsonPath.empty()) {
+        atomicWriteFile(jsonPath, resp.at("doc").dump(2) + "\n");
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    return static_cast<int>(resp.at("exit_code").asInt());
+}
+
+} // namespace serve
+} // namespace rigor

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Thin client side of the serve protocol: the CLI's `submit`,
+ * `status`, `cancel` and `shutdown` subcommands, plus socket-routed
+ * compare/gate/explain queries.
+ *
+ * `submitJob` with wait=true reproduces the one-shot CLI's contract
+ * byte for byte: streamed output chunks go to stdout verbatim, log
+ * events to stderr in the default sink's "level: msg" format, and
+ * the process exit code is the job's exit code — so a script (or a
+ * test's `diff`) cannot tell a daemon run from a local one.
+ *
+ * Connection failures exit with kExitServeUnavailable and admission
+ * rejections with kExitRejected, so callers can tell "no daemon"
+ * from "daemon said no".
+ */
+
+#ifndef RIGOR_SERVE_CLIENT_HH
+#define RIGOR_SERVE_CLIENT_HH
+
+#include <string>
+
+#include "serve/jobspec.hh"
+
+namespace rigor {
+namespace serve {
+
+/** Options of one `submit` invocation. */
+struct SubmitOptions
+{
+    /** Lower runs first (daemon default 10). */
+    int priority = 10;
+    /** Submitter label shown in `status` ("" = anonymous). */
+    std::string client;
+    /**
+     * Stream the job to completion and exit with its code. When
+     * false, print the job id and return immediately (poll with
+     * `status`).
+     */
+    bool wait = true;
+};
+
+/** Submit a job; see the file header for the wait contract. */
+int submitJob(const std::string &socketPath, const JobSpec &spec,
+              const SubmitOptions &opts);
+
+/**
+ * Print the queue table (jobId < 0) or one job's detail including
+ * its captured report stream (jobId >= 0).
+ */
+int requestStatus(const std::string &socketPath, int jobId);
+
+/** Cancel a queued job. */
+int cancelJob(const std::string &socketPath, int jobId);
+
+/** Ask the daemon to exit: drain (finish accepted jobs) or now. */
+int shutdownDaemon(const std::string &socketPath, bool now);
+
+/**
+ * Run a compare/gate/explain query through the daemon. Prints the
+ * rendered report exactly as the local command would; writes the
+ * machine-readable doc to `jsonPath` when non-empty.
+ * @return the query's exit code (0, or 4 for a failed gate).
+ */
+int remoteQuery(const std::string &socketPath, const QuerySpec &query,
+                const std::string &jsonPath);
+
+} // namespace serve
+} // namespace rigor
+
+#endif // RIGOR_SERVE_CLIENT_HH

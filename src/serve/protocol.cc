@@ -1,0 +1,74 @@
+#include "serve/protocol.hh"
+
+#include "support/logging.hh"
+#include "support/schema.hh"
+
+namespace rigor {
+namespace serve {
+
+namespace {
+
+Json
+envelope()
+{
+    Json j = Json::object();
+    j.set("schema", kServeProtocolSchema);
+    j.set("version", kServeProtocolVersion);
+    return j;
+}
+
+} // namespace
+
+Json
+makeRequest(const std::string &op)
+{
+    Json j = envelope();
+    j.set("op", op);
+    return j;
+}
+
+Json
+makeResponse(const std::string &op)
+{
+    Json j = envelope();
+    j.set("ok", true);
+    j.set("op", op);
+    return j;
+}
+
+Json
+makeError(const std::string &op, const std::string &code,
+          const std::string &message)
+{
+    Json j = envelope();
+    j.set("ok", false);
+    j.set("op", op);
+    j.set("error", code);
+    j.set("message", message);
+    return j;
+}
+
+Json
+makeEvent(const std::string &kind, int jobId)
+{
+    Json j = envelope();
+    j.set("event", kind);
+    j.set("job_id", jobId);
+    return j;
+}
+
+void
+checkProtocolHeader(const Json &j)
+{
+    if (!j.has("schema") ||
+        j.at("schema").asString() != kServeProtocolSchema)
+        fatal("not a %s message", kServeProtocolSchema);
+    int64_t v = j.at("version").asInt();
+    if (v != kServeProtocolVersion)
+        fatal("peer speaks %s v%lld; this build speaks v%d",
+              kServeProtocolSchema, static_cast<long long>(v),
+              kServeProtocolVersion);
+}
+
+} // namespace serve
+} // namespace rigor

@@ -1,0 +1,240 @@
+#include "serve/queue.hh"
+
+#include "support/durable_io.hh"
+#include "support/logging.hh"
+#include "support/schema.hh"
+#include "support/str.hh"
+
+namespace rigor {
+namespace serve {
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Failed:
+        return "failed";
+      case JobState::Cancelled:
+        return "cancelled";
+      case JobState::Interrupted:
+        return "interrupted";
+    }
+    panic("unhandled JobState %d", static_cast<int>(state));
+}
+
+JobState
+jobStateFromName(const std::string &name)
+{
+    for (JobState s :
+         {JobState::Queued, JobState::Running, JobState::Done,
+          JobState::Failed, JobState::Cancelled,
+          JobState::Interrupted})
+        if (name == jobStateName(s))
+            return s;
+    fatal("unknown job state '%s'", name.c_str());
+}
+
+JobQueue::JobQueue(std::string stateDir)
+    : stateDir_(std::move(stateDir))
+{
+    if (stateDir_.empty())
+        fatal("serve state directory must not be empty");
+}
+
+std::string
+JobQueue::statePath() const
+{
+    return stateDir_ + "/queue.json";
+}
+
+std::string
+JobQueue::resumePath(int id) const
+{
+    return stateDir_ + strprintf("/job-%d.resume.json", id);
+}
+
+std::string
+JobQueue::outputPath(int id) const
+{
+    return stateDir_ + strprintf("/job-%d.out.txt", id);
+}
+
+JobRecord &
+JobQueue::submit(JobSpec spec, int priority, std::string client)
+{
+    JobRecord rec;
+    rec.id = nextId_++;
+    rec.seq = nextSeq_++;
+    rec.priority = priority;
+    rec.client = std::move(client);
+    // Suite jobs become drain-resumable for free: a daemon-assigned
+    // resume path makes a SIGTERM mid-suite continue from the last
+    // commit-boundary checkpoint after `serve --resume`, with
+    // byte-identical artifacts. Archiving jobs are excluded (the
+    // archive/resume exclusion the CLI enforces); they restart from
+    // scratch on resume, which is byte-identical anyway because runs
+    // are deterministic.
+    if (spec.command == "suite" && spec.resumePath.empty() &&
+        spec.archiveDir.empty())
+        spec.resumePath = resumePath(rec.id);
+    rec.spec = std::move(spec);
+    jobs_.push_back(std::move(rec));
+    persist();
+    return jobs_.back();
+}
+
+JobRecord *
+JobQueue::nextRunnable()
+{
+    JobRecord *best = nullptr;
+    for (auto &j : jobs_) {
+        if (j.state != JobState::Queued)
+            continue;
+        if (!best || j.priority < best->priority ||
+            (j.priority == best->priority && j.seq < best->seq))
+            best = &j;
+    }
+    return best;
+}
+
+JobRecord *
+JobQueue::find(int id)
+{
+    for (auto &j : jobs_)
+        if (j.id == id)
+            return &j;
+    return nullptr;
+}
+
+size_t
+JobQueue::queuedCount() const
+{
+    size_t n = 0;
+    for (const auto &j : jobs_)
+        if (j.state == JobState::Queued)
+            ++n;
+    return n;
+}
+
+size_t
+JobQueue::runningCount() const
+{
+    size_t n = 0;
+    for (const auto &j : jobs_)
+        if (j.state == JobState::Running)
+            ++n;
+    return n;
+}
+
+void
+JobQueue::persist() const
+{
+    Json payload = Json::object();
+    payload.set("kind", kServeQueueSchema);
+    payload.set("version", kServeQueueVersion);
+    payload.set("next_id", nextId_);
+    payload.set("next_seq", static_cast<int64_t>(nextSeq_));
+    Json arr = Json::array();
+    for (const auto &j : jobs_) {
+        Json r = Json::object();
+        r.set("id", j.id);
+        r.set("priority", j.priority);
+        r.set("client", j.client);
+        r.set("state", jobStateName(j.state));
+        r.set("seq", static_cast<int64_t>(j.seq));
+        r.set("exit_code", j.exitCode);
+        r.set("error", j.error);
+        r.set("archive_id", j.archiveId);
+        r.set("spec", jobSpecToJson(j.spec));
+        arr.push(std::move(r));
+    }
+    payload.set("jobs", std::move(arr));
+    writeStateFile(statePath(), payload);
+}
+
+bool
+JobQueue::stateExists() const
+{
+    return stateFileExists(statePath());
+}
+
+void
+JobQueue::restore()
+{
+    if (!stateExists())
+        return;
+    StateLoad load = loadStateFile(statePath());
+    if (load.usedBackup)
+        warn("%s", load.warning.c_str());
+    const Json &p = load.payload;
+    if (!p.has("kind") ||
+        p.at("kind").asString() != kServeQueueSchema)
+        fatal("%s does not hold serve queue state",
+              statePath().c_str());
+    int64_t v = p.at("version").asInt();
+    if (v != kServeQueueVersion)
+        fatal("%s holds %s version %lld (this build reads v%d)",
+              statePath().c_str(), kServeQueueSchema,
+              static_cast<long long>(v), kServeQueueVersion);
+    nextId_ = static_cast<int>(p.at("next_id").asInt());
+    nextSeq_ = static_cast<uint64_t>(p.at("next_seq").asInt());
+    const Json &arr = p.at("jobs");
+    for (size_t i = 0; i < arr.size(); ++i) {
+        const Json &r = arr.at(i);
+        JobRecord rec;
+        rec.id = static_cast<int>(r.at("id").asInt());
+        rec.priority = static_cast<int>(r.at("priority").asInt());
+        rec.client = r.at("client").asString();
+        rec.state = jobStateFromName(r.at("state").asString());
+        rec.seq = static_cast<uint64_t>(r.at("seq").asInt());
+        rec.exitCode = static_cast<int>(r.at("exit_code").asInt());
+        rec.error = r.at("error").asString();
+        rec.archiveId =
+            static_cast<int>(r.at("archive_id").asInt());
+        rec.spec = jobSpecFromJson(r.at("spec"));
+        // A job caught mid-flight by the drain starts over (or, for
+        // a suite with a resume path, continues from its checkpoint
+        // — same bytes either way).
+        if (rec.state == JobState::Running ||
+            rec.state == JobState::Interrupted) {
+            rec.state = JobState::Queued;
+            rec.exitCode = -1;
+        }
+        // Finished jobs reload their persisted report stream so
+        // `status --json`/detail queries survive the restart.
+        if (rec.state == JobState::Done ||
+            rec.state == JobState::Failed)
+            readFile(outputPath(rec.id), rec.output);
+        jobs_.push_back(std::move(rec));
+    }
+}
+
+Json
+JobQueue::statusJson() const
+{
+    Json arr = Json::array();
+    for (const auto &j : jobs_) {
+        Json r = Json::object();
+        r.set("id", j.id);
+        r.set("priority", j.priority);
+        r.set("client", j.client);
+        r.set("state", jobStateName(j.state));
+        r.set("command", j.spec.command);
+        r.set("workload", j.spec.workload);
+        r.set("exit_code", j.exitCode);
+        r.set("archive_id", j.archiveId);
+        if (!j.error.empty())
+            r.set("error", j.error);
+        arr.push(std::move(r));
+    }
+    return arr;
+}
+
+} // namespace serve
+} // namespace rigor

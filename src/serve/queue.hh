@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The daemon's job queue: FIFO within priority, durable across
+ * restarts.
+ *
+ * The queue itself is a plain data structure — the Server serializes
+ * access with its own mutex — but its on-disk form is a first-class
+ * contract: every mutation is persisted as a checksummed durable_io
+ * envelope (kServeQueueSchema), and `serve --resume` restores queued
+ * and in-flight jobs bit-exactly from it. A job that was running when
+ * the daemon drained goes back to Queued; suite jobs carry a
+ * daemon-assigned resume path, so the restarted execution continues
+ * from the last commit-boundary checkpoint and produces artifacts
+ * byte-identical to an uninterrupted run (docs/METHODOLOGY.md §17).
+ */
+
+#ifndef RIGOR_SERVE_QUEUE_HH
+#define RIGOR_SERVE_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "serve/jobspec.hh"
+
+namespace rigor {
+namespace serve {
+
+/** Lifecycle of one submitted job. */
+enum class JobState
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+    /** Stopped at a commit boundary by a drain; resumes as Queued. */
+    Interrupted,
+};
+
+const char *jobStateName(JobState state);
+JobState jobStateFromName(const std::string &name);
+
+/** One submitted job and everything `status` reports about it. */
+struct JobRecord
+{
+    int id = 0;
+    /** Lower runs first; FIFO among equals. */
+    int priority = 10;
+    /** Submitter-chosen label ("" when anonymous). */
+    std::string client;
+    JobSpec spec;
+    JobState state = JobState::Queued;
+    /** Submission ordinal; the FIFO tiebreaker within a priority. */
+    uint64_t seq = 0;
+    /** Exit code of the finished execution (-1 while pending). */
+    int exitCode = -1;
+    /** Failure message (Failed only). */
+    std::string error;
+    /** Archive entry id the job appended (-1 when none). */
+    int archiveId = -1;
+    /** The job's report stream so far (exactly the CLI's stdout). */
+    std::string output;
+};
+
+/**
+ * The priority-FIFO queue plus its durable state. Not thread-safe;
+ * the Server guards every call with its mutex.
+ */
+class JobQueue
+{
+  public:
+    explicit JobQueue(std::string stateDir);
+
+    /**
+     * Admit a job: assigns the next id, gives suite jobs without an
+     * archive a durable resume path under the state dir, persists.
+     * @return the new record (stable address; storage is a deque).
+     */
+    JobRecord &submit(JobSpec spec, int priority, std::string client);
+
+    /** The runnable job that should start next (null when none). */
+    JobRecord *nextRunnable();
+
+    JobRecord *find(int id);
+
+    size_t queuedCount() const;
+    size_t runningCount() const;
+    const std::deque<JobRecord> &jobs() const { return jobs_; }
+
+    /** Durably persist the whole queue (every mutation calls this). */
+    void persist() const;
+
+    /**
+     * Restore from the state file (serve --resume). Running and
+     * Interrupted jobs go back to Queued; finished jobs keep their
+     * results so `status` still reports them.
+     */
+    void restore();
+
+    /** True when a previous daemon left durable queue state behind. */
+    bool stateExists() const;
+
+    /** The `status` op's payload (summaries of every job). */
+    Json statusJson() const;
+
+    /** Where job `id`'s completed report stream is persisted. */
+    std::string outputPath(int id) const;
+
+  private:
+    std::string statePath() const;
+    std::string resumePath(int id) const;
+
+    std::string stateDir_;
+    std::deque<JobRecord> jobs_;
+    int nextId_ = 1;
+    uint64_t nextSeq_ = 1;
+};
+
+} // namespace serve
+} // namespace rigor
+
+#endif // RIGOR_SERVE_QUEUE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The `rigorbench serve` daemon: a single process multiplexing many
+ * clients over the deterministic runner and the archive.
+ *
+ * One accept loop, one connection-handler thread per client, and
+ * `maxActive` worker threads draining the priority-FIFO JobQueue.
+ * Jobs execute through serve::executeJob — the exact code path the
+ * one-shot CLI uses — with per-job-thread log capture and quiet, so
+ * concurrent jobs cannot interleave output and a submitted job's
+ * artifacts are byte-identical to a shell run (METHODOLOGY §17).
+ *
+ * Shutdown contract: SIGINT/SIGTERM (or the `shutdown` op with mode
+ * "now") stops running jobs at their next invocation-commit boundary,
+ * checkpoints in-flight suites, durably persists the queue, and exits
+ * — with kExitInterrupted for a signal (state is resumable) or 0 for
+ * the explicit op. `shutdown` mode "drain" finishes every accepted
+ * job first. `serve --resume` restores the persisted queue and
+ * continues; a `serve` without --resume over leftover state refuses
+ * to start rather than silently dropping accepted jobs.
+ */
+
+#ifndef RIGOR_SERVE_SERVER_HH
+#define RIGOR_SERVE_SERVER_HH
+
+#include <string>
+
+namespace rigor {
+namespace serve {
+
+struct ServerConfig
+{
+    /** The Unix-domain socket to listen on. */
+    std::string socketPath;
+    /** Directory for the durable queue, checkpoints and job output. */
+    std::string stateDir;
+    /** Admission control: max jobs waiting (structured reject). */
+    int maxQueue = 16;
+    /** Concurrent job executions (worker threads). */
+    int maxActive = 1;
+    /** Restore the persisted queue from a previous daemon. */
+    bool resume = false;
+};
+
+/**
+ * Run the daemon until a signal or a `shutdown` op.
+ * @return the process exit code (0, or kExitInterrupted after a
+ * signal-drain with resumable state).
+ * @throws FatalError for startup errors (socket in use, leftover
+ * state without --resume).
+ */
+int runServer(const ServerConfig &cfg);
+
+} // namespace serve
+} // namespace rigor
+
+#endif // RIGOR_SERVE_SERVER_HH

@@ -8,6 +8,7 @@ namespace rigor {
 namespace {
 
 bool quietFlag = false;
+thread_local bool threadQuietFlag = false;
 LogSink sinkFn;
 thread_local LogSink threadSinkFn;
 
@@ -15,7 +16,7 @@ thread_local LogSink threadSinkFn;
 void
 emitLog(LogLevel level, const std::string &msg)
 {
-    if (quietFlag)
+    if (quietFlag || threadQuietFlag)
         return;
     if (threadSinkFn)
         threadSinkFn(level, msg);
@@ -35,9 +36,17 @@ setQuiet(bool quiet)
 }
 
 bool
+setThreadQuiet(bool quiet)
+{
+    bool prev = threadQuietFlag;
+    threadQuietFlag = quiet;
+    return prev;
+}
+
+bool
 quietEnabled()
 {
-    return quietFlag;
+    return quietFlag || threadQuietFlag;
 }
 
 const char *
@@ -115,7 +124,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag || threadQuietFlag)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -127,7 +136,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag || threadQuietFlag)
         return;
     va_list ap;
     va_start(ap, fmt);

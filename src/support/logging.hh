@@ -70,7 +70,17 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Globally silence warn()/inform() (used by tests and benches). */
 void setQuiet(bool quiet);
 
-/** Whether setQuiet(true) is in effect. */
+/**
+ * Thread-local quiet override: silences this thread's warn()/inform()
+ * (and everything that checks quietEnabled()) without touching other
+ * threads. The serve daemon uses it to honor one job's --quiet while
+ * other jobs stream normally; the parallel runner propagates it to
+ * its workers so a quiet job stays quiet at any --jobs value.
+ * @return the previous thread-local value, for RAII restoration.
+ */
+bool setThreadQuiet(bool quiet);
+
+/** Whether setQuiet(true) or this thread's override is in effect. */
 bool quietEnabled();
 
 /** Severity of a status message routed through the log sink. */

@@ -19,6 +19,13 @@
 
 namespace rigor {
 
+/**
+ * The binary's own version, printed by `rigorbench version` next to
+ * every schema version below so clients (and the serve protocol
+ * handshake) can negotiate compatibility.
+ */
+inline constexpr const char *kRigorbenchVersion = "0.10.0";
+
 /** One experiment run as dumped by harness::runToJson / --json. */
 inline constexpr const char *kRunSchema = "rigorbench-run";
 inline constexpr int kRunSchemaVersion = 1;
@@ -58,6 +65,25 @@ inline constexpr int kExplainReportVersion = 1;
 /** An archive fsck report (archive::fsckToJson). */
 inline constexpr const char *kFsckReportSchema = "rigorbench-fsck";
 inline constexpr int kFsckReportVersion = 1;
+
+/** A machine-readable archive listing (`archive list --json`). */
+inline constexpr const char *kArchiveListSchema =
+    "rigorbench-archive-list";
+inline constexpr int kArchiveListVersion = 1;
+
+/** A serialized run/suite job specification (serve::JobSpec). */
+inline constexpr const char *kJobSpecSchema = "rigorbench-job";
+inline constexpr int kJobSpecVersion = 1;
+
+/** The `rigorbench serve` NDJSON request/response protocol. */
+inline constexpr const char *kServeProtocolSchema =
+    "rigorbench-serve";
+inline constexpr int kServeProtocolVersion = 1;
+
+/** The daemon's durable queue state (drain / `serve --resume`). */
+inline constexpr const char *kServeQueueSchema =
+    "rigorbench-serve-queue";
+inline constexpr int kServeQueueVersion = 1;
 
 } // namespace rigor
 

@@ -70,4 +70,8 @@ echo "== crash torture (io:* crash sweep, ENOSPC, locks, fsck) =="
 bash tests/crash_torture_test.sh ./build/tools/rigorbench
 bash tests/crash_torture_test.sh ./build-asan/tools/rigorbench
 
+echo "== serve daemon smoke (multi-tenant byte-identity, drain) =="
+bash tests/serve_smoke_test.sh ./build/tools/rigorbench
+bash tests/serve_smoke_test.sh ./build-asan/tools/rigorbench
+
 echo "all checks passed"

@@ -4,6 +4,7 @@
  *
  *   rigorbench list
  *   rigorbench env
+ *   rigorbench version
  *   rigorbench disasm <workload>
  *   rigorbench run <workload> [options]
  *   rigorbench compare <workload> [options]
@@ -15,6 +16,11 @@
  *   rigorbench explain <baseline> <candidate> --archive DIR
  *   rigorbench archive list|prune --archive DIR
  *   rigorbench fsck --archive DIR [--repair]
+ *   rigorbench serve --socket PATH [options]
+ *   rigorbench submit run <workload>|suite --socket PATH [options]
+ *   rigorbench status [<job-id>] --socket PATH
+ *   rigorbench cancel <job-id> --socket PATH
+ *   rigorbench shutdown [--now] --socket PATH
  *   rigorbench help
  *
  * Common options:
@@ -30,6 +36,8 @@
  *   --jit-threshold N        (default kDefaultJitThreshold)
  *   --target PCT             (sequential only; default 2)
  *   --json FILE              dump the raw run as JSON
+ *                            (archive list: the machine-readable
+ *                            listing; '-' prints it to stdout)
  *   --csv FILE               dump per-iteration samples as CSV
  *   --no-noise               disable the measurement-noise model
  *   --quiet                  silence warn()/inform() status output
@@ -100,40 +108,60 @@
  *   --explain                (gate) append the per-pair attribution
  *                            for every failing pair
  *
+ * Daemon mode (see docs/METHODOLOGY.md §17):
+ *   serve                    run the multi-tenant benchmarking daemon
+ *                            on a Unix-domain socket; submitted jobs
+ *                            produce artifacts byte-identical to the
+ *                            same flags run one-shot
+ *   --socket PATH            the daemon's socket (serve and every
+ *                            client command; compare/gate/explain
+ *                            with --socket route through the daemon)
+ *   --state-dir DIR          (serve) durable queue/checkpoint state
+ *                            (default: SOCKET.d)
+ *   --max-queue N            (serve) admission limit on waiting jobs
+ *                            (default 16; excess submits exit 8)
+ *   --max-active N           (serve) concurrent job executions
+ *                            (default 1)
+ *   serve --resume           restore the persisted queue after a
+ *                            drain (SIGINT/SIGTERM exits 3 with the
+ *                            queue durably checkpointed)
+ *   --priority N             (submit) lower runs first (default 10)
+ *   --client NAME            (submit) label shown in `status`
+ *   --no-wait                (submit) print the job id and return
+ *                            instead of streaming the report
+ *   --now                    (shutdown) interrupt running jobs at the
+ *                            next commit boundary instead of draining
+ *
  * Entry refs: HEAD (newest), HEAD~N, a decimal id, or a label.
  *
- * Exit codes (stable; scripts may rely on them):
+ * Exit codes (stable; scripts may rely on them — the canonical table
+ * lives in README.md "Exit codes"):
  *   0  success
  *   1  usage error (bad flags/arguments)
  *   2  runtime or suite failure (nothing measurable, I/O error)
  *   3  interrupted (SIGINT/SIGTERM); state is resumable when
- *      --resume was given
+ *      --resume was given (serve: the queue is resumable)
  *   4  regression: gate found a workload slower than the baseline
  *      beyond the threshold at the configured confidence
  *   5  corruption: fsck found (or could not repair) archive damage
  *   6  injected crash: an io:crash-at fault killed the process at
  *      the requested call (torture harnesses rely on this code to
  *      tell an injected crash from a real failure)
+ *   7  daemon unavailable: no daemon at --socket (or it spoke a
+ *      different protocol version)
+ *   8  rejected: the daemon's admission control refused the job
+ *      (queue full, draining, or an io:* fault spec)
  */
 
-#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
-#include <memory>
-#include <optional>
-#include <sstream>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "archive/archive.hh"
 #include "archive/fsck.hh"
-#include "compare/compare.hh"
-#include "explain/behavior_profile.hh"
-#include "explain/explain.hh"
 #include "harness/analysis.hh"
 #include "harness/envcheck.hh"
 #include "harness/fault.hh"
@@ -141,6 +169,10 @@
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/sequential.hh"
+#include "serve/client.hh"
+#include "serve/jobrun.hh"
+#include "serve/jobspec.hh"
+#include "serve/server.hh"
 #include "support/durable_io.hh"
 #include "support/interrupt.hh"
 #include "support/logging.hh"
@@ -155,23 +187,23 @@ using namespace rigor;
 
 namespace {
 
-// Exit-code table (see the file header). kExitInterrupted (3) lives
-// in support/interrupt.hh because the signal handler uses it too.
-constexpr int kExitSuccess = 0;
-constexpr int kExitUsage = 1;
-constexpr int kExitFailure = 2;
-/** `gate` found a regression beyond the threshold. */
-constexpr int kExitRegression = 4;
-/** `fsck` found corruption (or failed to repair it). */
-constexpr int kExitCorruption = 5;
-// kExitCrashInjected (6) lives in harness/fault.hh with the
-// io:crash-at machinery that uses it.
+// Exit-code table (see the file header). The codes themselves live in
+// serve/jobrun.hh so the CLI, the daemon and the client mode agree;
+// kExitInterrupted (3) is in support/interrupt.hh with the signal
+// handler and kExitCrashInjected (6) in harness/fault.hh with the
+// io:crash-at machinery.
+using serve::kExitCorruption;
+using serve::kExitFailure;
+using serve::kExitRegression;
+using serve::kExitSuccess;
+using serve::kExitUsage;
 
 struct Options
 {
     std::string command;
     std::string workload;
-    /** Second positional (compare/gate candidate ref). */
+    /** Second positional (compare/gate candidate ref, submit's
+     * workload name, ...). */
     std::string workload2;
     vm::Tier tier = vm::Tier::Interp;
     /** True once --tier was given (profile defaults differently). */
@@ -209,6 +241,20 @@ struct Options
     /** `fsck --repair`: fix what is mechanically fixable. */
     bool repair = false;
 
+    // Daemon mode (serve and its client commands).
+    std::string socketPath;
+    std::string stateDir;
+    int maxQueue = 16;
+    int maxActive = 1;
+    /** `serve --resume`: restore the persisted queue. */
+    bool serveResume = false;
+    int priority = 10;
+    std::string clientName;
+    /** `submit --no-wait`: detach instead of streaming the report. */
+    bool noWait = false;
+    /** `shutdown --now`: interrupt instead of draining. */
+    bool shutdownNow = false;
+
     // Observability sinks, shared by every run of the command
     // (not owned; set up in main when requested).
     MetricsRegistry *metrics = nullptr;
@@ -225,6 +271,8 @@ printUsage(std::FILE *out)
         "commands:\n"
         "  list                      list the workload suite\n"
         "  env                       report environment hygiene\n"
+        "  version                   print binary and artifact-schema "
+        "versions\n"
         "  disasm <workload>         disassemble a workload\n"
         "  run <workload>            measure one workload\n"
         "  compare <workload>        interp-vs-adaptive speedup\n"
@@ -239,8 +287,18 @@ printUsage(std::FILE *out)
         "                            behavior components\n"
         "                            (needs --archive DIR)\n"
         "  archive list|prune        inspect / trim an archive\n"
+        "                            (list --json FILE|- for the\n"
+        "                            machine-readable form)\n"
         "  fsck                      verify an archive (--repair to\n"
         "                            fix); needs --archive DIR\n"
+        "  serve                     run the benchmarking daemon on\n"
+        "                            --socket PATH (--resume after a\n"
+        "                            drain)\n"
+        "  submit run <wl>|suite     queue a job on the daemon\n"
+        "  status [<job-id>]         list the daemon's jobs (or one)\n"
+        "  cancel <job-id>           cancel a queued job\n"
+        "  shutdown                  drain the daemon (--now to\n"
+        "                            interrupt running jobs)\n"
         "  help                      this text\n"
         "\n"
         "entry refs: HEAD, HEAD~N, a decimal id, or a --label name\n"
@@ -258,12 +316,17 @@ printUsage(std::FILE *out)
         "         --gate-threshold PCT --keep N --explain "
         "--repair\n"
         "         --base-tier TIER --cand-tier TIER\n"
+        "         --socket PATH --state-dir DIR --max-queue N "
+        "--max-active N\n"
+        "         --priority N --client NAME --no-wait --now\n"
         "\n"
         "exit codes: 0 success, 1 usage error, 2 runtime failure,\n"
         "            3 interrupted (resumable with --resume),\n"
         "            4 regression detected by gate,\n"
         "            5 corruption found by fsck,\n"
-        "            6 injected crash (io:crash-at fault)\n");
+        "            6 injected crash (io:crash-at fault),\n"
+        "            7 daemon unavailable at --socket,\n"
+        "            8 job rejected by daemon admission control\n");
 }
 
 [[noreturn]] void
@@ -358,6 +421,8 @@ parseArgs(int argc, char **argv)
         printUsage(stdout);
         std::exit(0);
     }
+    if (opt.command == "--version")
+        opt.command = "version";
     int i = 2;
     if (i < argc && argv[i][0] != '-')
         opt.workload = argv[i++];
@@ -421,7 +486,12 @@ parseArgs(int argc, char **argv)
             opt.deadlineMs = parseDouble("--deadline-ms", next(),
                                          1e-9);
         } else if (a == "--resume") {
-            opt.resumePath = next();
+            // For `serve`, --resume is a flag (restore the queue);
+            // everywhere else it names the suite state file.
+            if (opt.command == "serve")
+                opt.serveResume = true;
+            else
+                opt.resumePath = next();
         } else if (a == "--checkpoint-every") {
             opt.checkpointEvery = static_cast<int>(
                 parseInt("--checkpoint-every", next(), 1));
@@ -448,12 +518,36 @@ parseArgs(int argc, char **argv)
             opt.explainGate = true;
         } else if (a == "--repair") {
             opt.repair = true;
+        } else if (a == "--socket") {
+            opt.socketPath = next();
+        } else if (a == "--state-dir") {
+            opt.stateDir = next();
+        } else if (a == "--max-queue") {
+            opt.maxQueue = static_cast<int>(
+                parseInt("--max-queue", next(), 1));
+        } else if (a == "--max-active") {
+            opt.maxActive = static_cast<int>(
+                parseInt("--max-active", next(), 1));
+        } else if (a == "--priority") {
+            opt.priority = static_cast<int>(
+                parseInt("--priority", next(), 0));
+        } else if (a == "--client") {
+            opt.clientName = next();
+        } else if (a == "--no-wait") {
+            opt.noWait = true;
+        } else if (a == "--now") {
+            opt.shutdownNow = true;
         } else {
             usage();
         }
     }
-    if (opt.checkpointEvery > 0 &&
-        (opt.command != "suite" || opt.resumePath.empty()))
+    // --checkpoint-every needs a durable home for the checkpoints: a
+    // local suite's --resume file, or the daemon-assigned resume path
+    // a submitted suite gets at admission.
+    bool checkpointable =
+        (opt.command == "suite" && !opt.resumePath.empty()) ||
+        (opt.command == "submit" && opt.workload == "suite");
+    if (opt.checkpointEvery > 0 && !checkpointable)
         fatal("--checkpoint-every requires 'suite' with --resume "
               "(checkpoints are written to the resume state file)");
     // A resumed suite only re-measures what the interrupted process
@@ -463,7 +557,8 @@ parseArgs(int argc, char **argv)
         fatal("--archive cannot be combined with --resume; "
               "archive the suite in a single uninterrupted run");
     if (!opt.workload2.empty() && opt.command != "compare" &&
-        opt.command != "gate" && opt.command != "explain")
+        opt.command != "gate" && opt.command != "explain" &&
+        opt.command != "submit")
         fatal("unexpected extra argument '%s'",
               opt.workload2.c_str());
     if (opt.explainGate && opt.command != "gate")
@@ -485,97 +580,83 @@ parseArgs(int argc, char **argv)
         opt.command != "gate" && opt.command != "explain")
         fatal("--base-tier/--cand-tier only apply to "
               "'compare', 'gate' and 'explain'");
+    if (!opt.socketPath.empty() && opt.command != "serve" &&
+        opt.command != "submit" && opt.command != "status" &&
+        opt.command != "cancel" && opt.command != "shutdown" &&
+        opt.command != "compare" && opt.command != "gate" &&
+        opt.command != "explain")
+        fatal("--socket only applies to serve/submit/status/cancel/"
+              "shutdown and to archive queries (compare/gate/"
+              "explain)");
+    if (opt.command == "submit") {
+        if (opt.workload != "run" && opt.workload != "suite")
+            fatal("submit expects 'run <workload>' or 'suite', got "
+                  "'%s'",
+                  opt.workload.c_str());
+        if (opt.workload == "run" && opt.workload2.empty())
+            fatal("submit run requires a workload name");
+        if (opt.workload == "suite" && !opt.workload2.empty())
+            fatal("submit suite takes no workload argument (got "
+                  "'%s')",
+                  opt.workload2.c_str());
+        if (!opt.resumePath.empty())
+            fatal("submit does not take --resume; the daemon "
+                  "assigns queued suites a durable resume path "
+                  "itself");
+    }
+    if (opt.serveResume && opt.command != "serve")
+        panic("serveResume set outside 'serve'");
     return opt;
+}
+
+/**
+ * The Options fields a JobSpec carries, with the caller naming the
+ * command and workload (local `run`/`suite` use them verbatim;
+ * `submit` maps its positionals).
+ */
+serve::JobSpec
+specFromOptions(const Options &opt, const std::string &command,
+                const std::string &workload)
+{
+    serve::JobSpec s;
+    s.command = command;
+    s.workload = workload;
+    s.tier = opt.tier;
+    s.invocations = opt.invocations;
+    s.iterations = opt.iterations;
+    s.jobs = opt.jobs;
+    s.size = opt.size;
+    s.seed = opt.seed;
+    s.jitThreshold = opt.jitThreshold;
+    s.noNoise = opt.noNoise;
+    s.quiet = opt.quiet;
+    s.maxRetries = opt.maxRetries;
+    s.deadlineMs = opt.deadlineMs;
+    s.injectSpecs = opt.injectSpecs;
+    s.jsonPath = opt.jsonPath;
+    s.csvPath = opt.csvPath;
+    s.metricsPath = opt.metricsPath;
+    s.tracePath = opt.tracePath;
+    s.archiveDir = opt.archiveDir;
+    s.label = opt.label;
+    s.resumePath = opt.resumePath;
+    s.checkpointEvery = opt.checkpointEvery;
+    return s;
 }
 
 harness::RunnerConfig
 makeConfig(const Options &opt, vm::Tier tier,
            const harness::FaultInjector *faults)
 {
-    harness::RunnerConfig cfg;
-    cfg.invocations = opt.invocations;
-    cfg.iterations = opt.iterations;
-    cfg.tier = tier;
-    cfg.size = opt.size;
-    cfg.seed = opt.seed;
-    cfg.jobs = opt.jobs;
-    cfg.jitThreshold = opt.jitThreshold;
-    cfg.noise.enabled = !opt.noNoise;
-    cfg.maxRetries = opt.maxRetries;
-    cfg.deadlineMs = opt.deadlineMs;
-    cfg.faults = faults;
-    cfg.metrics = opt.metrics;
-    cfg.trace = opt.trace;
-    return cfg;
-}
-
-// Defined with the other archive plumbing below.
-void archiveAppend(const Options &opt,
-                   const std::vector<harness::RunResult> &runs);
-
-void
-dumpOutputs(const Options &opt, const harness::RunResult &run)
-{
-    if (!opt.jsonPath.empty()) {
-        atomicWriteFile(opt.jsonPath,
-                        harness::runToJson(run).dump(2) + "\n");
-        std::printf("wrote %s\n", opt.jsonPath.c_str());
-    }
-    if (!opt.csvPath.empty()) {
-        std::ostringstream os;
-        harness::writeSeriesCsv(os, run);
-        atomicWriteFile(opt.csvPath, os.str());
-        std::printf("wrote %s\n", opt.csvPath.c_str());
-    }
-}
-
-/** Failure/quarantine bookkeeping printed after a degraded run. */
-void
-printRunFailures(const harness::RunResult &run)
-{
-    if (run.failures.empty() && !run.quarantined)
-        return;
-    std::printf("  failures: %zu recorded, %zu invocation(s) "
-                "succeeded of %d attempted\n",
-                run.failures.size(), run.invocations.size(),
-                run.invocationsAttempted);
-    for (const auto &f : run.failures)
-        std::printf("    inv %d attempt %d [%s]: %s\n", f.invocation,
-                    f.attempt, harness::failureKindName(f.kind),
-                    f.message.c_str());
-    if (run.quarantined)
-        std::printf("  QUARANTINED: %s\n",
-                    run.quarantineReason.c_str());
+    return serve::makeRunnerConfig(
+        specFromOptions(opt, opt.command, opt.workload), tier, faults,
+        opt.metrics, opt.trace);
 }
 
 void
 printEstimate(const harness::RunResult &run)
 {
-    if (run.invocations.empty()) {
-        std::printf("%s / %s: no successful invocations\n",
-                    run.workload.c_str(), vm::tierName(run.tier));
-        printRunFailures(run);
-        return;
-    }
-    auto est = harness::rigorousEstimate(run);
-    const auto &ss = est.steadyState;
-    std::printf("%s / %s  (%zu invocations x %zu iterations, "
-                "size %lld)\n",
-                run.workload.c_str(), vm::tierName(run.tier),
-                run.invocations.size(),
-                run.invocations.front().samples.size(),
-                static_cast<long long>(run.size));
-    std::printf("  time/iter: %s ms   (%s)\n",
-                harness::formatCi(est.ci, 4).c_str(),
-                harness::formatCiPercent(est.ci, 4).c_str());
-    std::printf("  series: %d flat, %d warmup, %d slowdown, "
-                "%d no-steady-state; mean warmup %.1f iters\n",
-                ss.flat, ss.warmup, ss.slowdown, ss.noSteadyState,
-                ss.meanSteadyStart);
-    std::printf("  first invocation: %s\n",
-                harness::sparkline(run.invocations.front().times())
-                    .c_str());
-    printRunFailures(run);
+    std::printf("%s", serve::renderEstimate(run).c_str());
 }
 
 int
@@ -599,6 +680,60 @@ cmdList()
     return kExitSuccess;
 }
 
+/**
+ * `version`: the binary version plus every artifact/protocol schema
+ * this build reads and writes, one per line, so "which schema does
+ * this binary emit?" never requires reading the source.
+ */
+int
+cmdVersion()
+{
+    std::printf("rigorbench %s\n", kRigorbenchVersion);
+    std::printf("schemas:\n");
+    struct Row
+    {
+        const char *what;
+        const char *name;
+        int version;
+        int minVersion;
+    };
+    const Row rows[] = {
+        {"state envelope (durable files)", kStateFormat,
+         kStateVersion, kStateVersion},
+        {"run (--json)", kRunSchema, kRunSchemaVersion,
+         kRunSchemaVersion},
+        {"series CSV (--csv)", kSeriesCsvSchema, kSeriesCsvVersion,
+         kSeriesCsvVersion},
+        {"archive entry", kArchiveEntrySchema, kArchiveEntryVersion,
+         kArchiveEntryMinVersion},
+        {"archive list (--json)", kArchiveListSchema,
+         kArchiveListVersion, kArchiveListVersion},
+        {"compare report", kCompareReportSchema,
+         kCompareReportVersion, kCompareReportVersion},
+        {"behavior profile", kBehaviorProfileSchema,
+         kBehaviorProfileVersion, kBehaviorProfileVersion},
+        {"explain report", kExplainReportSchema,
+         kExplainReportVersion, kExplainReportVersion},
+        {"fsck report", kFsckReportSchema, kFsckReportVersion,
+         kFsckReportVersion},
+        {"job spec (serve)", kJobSpecSchema, kJobSpecVersion,
+         kJobSpecVersion},
+        {"serve protocol", kServeProtocolSchema,
+         kServeProtocolVersion, kServeProtocolVersion},
+        {"serve queue state", kServeQueueSchema, kServeQueueVersion,
+         kServeQueueVersion},
+    };
+    for (const auto &r : rows) {
+        if (r.minVersion != r.version)
+            std::printf("  %-33s %s v%d (reads v%d..%d)\n", r.what,
+                        r.name, r.version, r.minVersion, r.version);
+        else
+            std::printf("  %-33s %s v%d\n", r.what, r.name,
+                        r.version);
+    }
+    return kExitSuccess;
+}
+
 int
 cmdDisasm(const Options &opt)
 {
@@ -608,22 +743,22 @@ cmdDisasm(const Options &opt)
     return kExitSuccess;
 }
 
+/**
+ * `run` and `suite`: hand the job to the shared execution engine with
+ * an output hook that writes straight to stdout. The daemon runs the
+ * same engine with a streaming hook — that shared path is what makes
+ * daemon-submitted artifacts byte-identical to one-shot runs.
+ */
 int
-cmdRun(const Options &opt, const harness::FaultInjector *faults)
+runLocalJob(const Options &opt)
 {
-    auto run = harness::runExperiment(
-        opt.workload, makeConfig(opt, opt.tier, faults));
-    printEstimate(run);
-    dumpOutputs(opt, run);
-    if (run.interrupted)
-        return kExitInterrupted;
-    if (run.invocations.empty())
-        return kExitFailure;
-    // Only completed runs are archived: a partial run would later
-    // compare as if it were the whole measurement.
-    if (!opt.archiveDir.empty())
-        archiveAppend(opt, {run});
-    return kExitSuccess;
+    serve::JobSpec spec =
+        specFromOptions(opt, opt.command, opt.workload);
+    serve::JobHooks hooks;
+    hooks.output = [](const std::string &chunk) {
+        std::fwrite(chunk.data(), 1, chunk.size(), stdout);
+    };
+    return serve::executeJob(spec, hooks);
 }
 
 int
@@ -688,7 +823,11 @@ cmdSequential(const Options &opt,
             std::printf(" %.2f%%", 100.0 * w);
         std::printf("\n");
     }
-    dumpOutputs(opt, res.run);
+    serve::writeRunArtifacts(
+        specFromOptions(opt, opt.command, opt.workload), res.run,
+        [](const std::string &line) {
+            std::fputs(line.c_str(), stdout);
+        });
     if (res.run.interrupted)
         return kExitInterrupted;
     return res.run.invocations.empty() ? kExitFailure
@@ -696,778 +835,64 @@ cmdSequential(const Options &opt,
 }
 
 /**
- * inform()/warn() plus a mirror of the message into the trace as a
- * "log" instant, so suite progress lands next to the spans it
- * narrates. The runner mirrors its own messages the same way
- * (caller-owned mirroring keeps serial and parallel traces
- * byte-identical; a sink cannot, because parallel workers buffer
- * their messages and replay them later).
+ * compare/gate/explain on archive entries: build the query, run it
+ * locally — or, with --socket, on the daemon, whose answer renders
+ * identically (it runs the same engine against the same archive).
  */
-__attribute__((format(printf, 3, 4))) void
-logTraced(const Options &opt, LogLevel level, const char *fmt, ...)
+int
+runQueryCommand(const Options &opt, const std::string &kind)
 {
-    if (opt.quiet)
-        return;
-    va_list ap;
-    va_start(ap, fmt);
-    std::string msg = vstrprintf(fmt, ap);
-    va_end(ap);
-    if (opt.trace)
-        opt.trace->logInstant(logLevelName(level), msg);
-    if (level == LogLevel::Warn)
-        warn("%s", msg.c_str());
-    else
-        inform("%s", msg.c_str());
+    serve::QuerySpec q;
+    q.kind = kind;
+    q.baseRef = opt.workload;
+    q.candRef = opt.workload2;
+    q.archiveDir = opt.archiveDir;
+    q.resamples = opt.resamples;
+    q.confidence = opt.confidence;
+    q.gateThresholdPct = opt.gateThresholdPct;
+    q.baseTier = opt.baseTier;
+    q.candTier = opt.candTier;
+    q.explainGate = opt.explainGate;
+    q.seed = opt.seed;
+    if (!opt.socketPath.empty())
+        return serve::remoteQuery(opt.socketPath, q, opt.jsonPath);
+    serve::QueryResult res = serve::runQuery(q);
+    std::fputs(res.text.c_str(), stdout);
+    if (!opt.jsonPath.empty()) {
+        atomicWriteFile(opt.jsonPath, res.doc.dump(2) + "\n");
+        std::printf("wrote %s\n", opt.jsonPath.c_str());
+    }
+    return res.exitCode;
 }
 
-/**
- * The subset of the configuration that determines measurements.
- * Stored in every checkpoint and compared verbatim on resume: a
- * resume with a different fingerprint would silently mix incomparable
- * measurements, so it is rejected. --jobs and --checkpoint-every are
- * deliberately absent — artifacts are invariant under both, and
- * resuming at a different parallelism or cadence is supported.
- */
+/** The machine-readable `archive list --json` document. */
 Json
-configJson(const Options &opt)
+archiveListJson(const std::string &dir,
+                const archive::ScanResult &scan)
 {
-    Json c = Json::object();
-    c.set("seed", strprintf("0x%016llx",
-                            static_cast<unsigned long long>(
-                                opt.seed)));
-    c.set("invocations", opt.invocations);
-    c.set("iterations", opt.iterations);
-    c.set("size", opt.size);
-    c.set("jit_threshold", opt.jitThreshold);
-    c.set("max_retries", opt.maxRetries);
-    c.set("deadline_ms", opt.deadlineMs);
-    c.set("no_noise", opt.noNoise);
-    // Cosmetic at first sight, but --quiet suppresses the log-mirror
-    // instants in the trace, so it changes artifact bytes.
-    c.set("quiet", opt.quiet);
-    Json inj = Json::array();
-    // io:* specs are excluded: they perturb the durability layer,
-    // never the measurements, and the main reason to resume is a
-    // crash one of them injected — the resume command won't (and must
-    // not need to) repeat the flag.
-    for (const auto &s : opt.injectSpecs)
-        if (!startsWith(s, "io:"))
-            inj.push(s);
-    c.set("inject", std::move(inj));
-    return c;
-}
-
-/**
- * The tiers a suite measures, in execution order. The order is part
- * of the resume-state contract: checkpoints identify the tier in
- * flight by name, and a resumed process walks this list to find where
- * the interrupted one stopped.
- */
-constexpr vm::Tier kSuiteTiers[] = {vm::Tier::Interp,
-                                    vm::Tier::Adaptive,
-                                    vm::Tier::Threaded};
-constexpr size_t kSuiteTierCount =
-    sizeof(kSuiteTiers) / sizeof(kSuiteTiers[0]);
-
-/**
- * The archived configuration: the resume fingerprint plus what it
- * leaves implicit — which workloads ran on which tiers, and the run
- * schema version. Two entries with equal fingerprints measured the
- * same experiment, so `compare` can promise that any difference is a
- * performance change.
- */
-Json
-archiveConfigJson(const Options &opt)
-{
-    Json c = configJson(opt);
-    c.set("schema_version", kRunSchemaVersion);
-    Json wls = Json::array();
-    Json tiers = Json::array();
-    if (opt.command == "suite") {
-        for (const auto &w : workloads::suite())
-            wls.push(w.name);
-        for (vm::Tier tier : kSuiteTiers)
-            tiers.push(vm::tierName(tier));
-    } else {
-        wls.push(opt.workload);
-        tiers.push(vm::tierName(opt.tier));
+    Json doc = Json::object();
+    doc.set("schema", kArchiveListSchema);
+    doc.set("version", kArchiveListVersion);
+    doc.set("archive", dir);
+    Json entries = Json::array();
+    for (const auto &e : scan.entries) {
+        Json j = Json::object();
+        j.set("id", e.id);
+        j.set("label", e.label);
+        j.set("command", e.command);
+        j.set("runs", e.runCount);
+        j.set("profiles", e.profileCount);
+        j.set("bytes", static_cast<int64_t>(e.sizeBytes));
+        j.set("fingerprint", e.fingerprint);
+        Json tiers = Json::array();
+        for (const auto &t : e.tiers)
+            tiers.push(t);
+        j.set("tiers", std::move(tiers));
+        entries.push(std::move(j));
     }
-    c.set("workloads", std::move(wls));
-    c.set("tiers", std::move(tiers));
-    return c;
-}
-
-/**
- * Append completed runs to --archive DIR and say where they went.
- * Each run is archived with its behavior profile so a later
- * `explain` can attribute measured differences; the profile is a
- * pure function of the committed run, hence byte-identical across
- * repeats and --jobs values. (--archive excludes --resume, so runs
- * here always come from this process with live VM statistics.)
- */
-void
-archiveAppend(const Options &opt,
-              const std::vector<harness::RunResult> &runs)
-{
-    archive::RunArchive ar(opt.archiveDir);
-    std::vector<Json> profiles;
-    for (const auto &r : runs) {
-        // Only the uarch/clock parameters matter for the profile;
-        // they are tier- and fault-independent.
-        harness::RunnerConfig cfg = makeConfig(opt, r.tier, nullptr);
-        profiles.push_back(
-            explain::profileToJson(explain::buildProfile(r, cfg)));
-    }
-    int id = ar.append(archiveConfigJson(opt), opt.label,
-                       opt.command, runs, profiles);
-    std::printf("archived as #%d in %s (%zu run(s) with behavior "
-                "profiles)\n",
-                id, opt.archiveDir.c_str(), runs.size());
-}
-
-/**
- * Writes the suite's checksummed resume state (durable_io envelope).
- * A checkpoint captures everything a resumed process needs to
- * continue byte-identically: the completed-workload table, the
- * partial run(s) of the workload in flight, and snapshots of the
- * shared metrics registry and trace emitter taken at the same commit
- * boundary (the runner invokes writeInProgress on the committing
- * thread while the shared sinks are quiescent, so the snapshot is
- * race-free at any --jobs value).
- */
-class SuiteCheckpointer
-{
-  public:
-    SuiteCheckpointer(const Options &opt,
-                      const harness::SuiteState &state)
-        : opt_(opt), state_(state)
-    {}
-
-    /** A workload's measurement is starting (no tier in flight yet). */
-    void beginWorkload(const std::string &name)
-    {
-        currentName_ = name;
-        currentTier_.clear();
-        doneTiers_.clear();
-    }
-
-    /** The named tier's run is starting; it is now the one in flight. */
-    void beginTier(vm::Tier tier) { currentTier_ = vm::tierName(tier); }
-
-    /**
-     * The in-flight tier's run finished; `run` outlives the
-     * remaining tier runs of this workload.
-     */
-    void setTierDone(const harness::RunResult *run)
-    {
-        doneTiers_.emplace_back(vm::tierName(run->tier), run);
-        currentTier_.clear();
-    }
-
-    /** The workload finished (or failed); nothing is in flight. */
-    void endWorkload()
-    {
-        currentName_.clear();
-        currentTier_.clear();
-        doneTiers_.clear();
-    }
-
-    /** Checkpoint between workloads (after a completed one commits). */
-    void writeCompleted() { write(nullptr); }
-
-    /** Mid-run checkpoint (the runner's onCheckpoint callback). */
-    void writeInProgress(const harness::RunResult &run)
-    {
-        write(&run);
-    }
-
-  private:
-    void
-    write(const harness::RunResult *current)
-    {
-        Json payload = Json::object();
-        payload.set("kind", "suite");
-        payload.set("config", configJson(opt_));
-        payload.set("suite", harness::suiteStateToJson(state_));
-        if (current) {
-            Json ip = Json::object();
-            ip.set("name", currentName_);
-            // Completed tiers first, then the partial run of the tier
-            // in flight — each under its tier name, so a resumed
-            // process can walk kSuiteTiers and find where this one
-            // stopped.
-            for (const auto &[tier, run] : doneTiers_)
-                ip.set(tier, harness::runToJson(*run));
-            ip.set(currentTier_, harness::runToJson(*current));
-            payload.set("in_progress", std::move(ip));
-        }
-        if (opt_.metrics)
-            payload.set("metrics", opt_.metrics->toJson());
-        if (opt_.trace)
-            payload.set("trace", opt_.trace->checkpointJson());
-        writeStateFile(opt_.resumePath, payload);
-    }
-
-    const Options &opt_;
-    const harness::SuiteState &state_;
-    std::string currentName_;
-    /** Tier name of the run in flight (empty between tier runs). */
-    std::string currentTier_;
-    /** Completed (tier name, run) pairs of the current workload. */
-    std::vector<std::pair<std::string, const harness::RunResult *>>
-        doneTiers_;
-};
-
-/** Outcome of measuring (or resuming) one suite workload. */
-struct SuiteStep
-{
-    harness::SuiteWorkloadState ws;
-    /** True when an interrupt stopped the measurement mid-way. */
-    bool interrupted = false;
-    /** Full runs, kept only when the suite is being archived. */
-    std::vector<harness::RunResult> runs;
-};
-
-/** Runner config for one suite run, wired to the checkpointer. */
-harness::RunnerConfig
-suiteRunConfig(const Options &opt, const std::string &name,
-               vm::Tier tier, const harness::FaultInjector *faults,
-               SuiteCheckpointer *ckpt)
-{
-    Options o = opt;
-    o.workload = name;
-    harness::RunnerConfig cfg = makeConfig(o, tier, faults);
-    if (ckpt) {
-        cfg.checkpointEvery = opt.checkpointEvery;
-        cfg.onCheckpoint = [ckpt](const harness::RunResult &r) {
-            ckpt->writeInProgress(r);
-        };
-    }
-    return cfg;
-}
-
-/** Estimates and bookkeeping once all tier runs are complete. */
-void
-finishWorkloadState(harness::SuiteWorkloadState &ws,
-                    const harness::RunResult &interp,
-                    const harness::RunResult &jit,
-                    const harness::RunResult &threaded)
-{
-    ws.quarantined = interp.quarantined || jit.quarantined ||
-        threaded.quarantined;
-    ws.failureCount = static_cast<int>(interp.failures.size() +
-                                       jit.failures.size() +
-                                       threaded.failures.size());
-    ws.modelledMs = interp.totalModelledMs() + jit.totalModelledMs() +
-        threaded.totalModelledMs();
-    if (interp.invocations.size() < 2 || jit.invocations.size() < 2 ||
-        threaded.invocations.size() < 2) {
-        ws.failed = true;
-        return;
-    }
-    ws.interpMs = harness::rigorousEstimate(interp).ci.estimate;
-    ws.adaptiveMs = harness::rigorousEstimate(jit).ci.estimate;
-    ws.threadedMs = harness::rigorousEstimate(threaded).ci.estimate;
-    ws.speedup = harness::rigorousSpeedup(interp, jit);
-    ws.threadedSpeedup = harness::rigorousSpeedup(interp, threaded);
-}
-
-/**
- * Measure one workload on every suite tier. Degrades gracefully:
- * failures and quarantines are recorded in the returned state instead
- * of propagating, so one broken workload cannot sink the suite.
- */
-SuiteStep
-runSuiteWorkload(const workloads::WorkloadSpec &w, const Options &opt,
-                 const harness::FaultInjector *faults,
-                 SuiteCheckpointer *ckpt)
-{
-    SuiteStep step;
-    step.ws.name = w.name;
-    if (ckpt)
-        ckpt->beginWorkload(w.name);
-    try {
-        // Deque, not vector: setTierDone keeps a pointer into the
-        // container, so earlier runs must not move when later tiers
-        // are appended.
-        std::deque<harness::RunResult> runs;
-        for (vm::Tier tier : kSuiteTiers) {
-            if (ckpt)
-                ckpt->beginTier(tier);
-            runs.push_back(harness::runExperiment(
-                w, suiteRunConfig(opt, w.name, tier, faults, ckpt)));
-            if (runs.back().interrupted) {
-                step.interrupted = true;
-                return step;
-            }
-            if (ckpt)
-                ckpt->setTierDone(&runs.back());
-        }
-        if (ckpt)
-            ckpt->endWorkload();
-        finishWorkloadState(step.ws, runs[0], runs[1], runs[2]);
-        if (!opt.archiveDir.empty())
-            for (auto &r : runs)
-                step.runs.push_back(std::move(r));
-    } catch (const FatalError &) {
-        // Infrastructure failure (a checkpoint write died on a full
-        // disk, say), not a workload failure: recording it as
-        // "workload failed" would let the suite carry on without the
-        // durability the user asked for. Abort loudly instead.
-        throw;
-    } catch (const std::exception &e) {
-        if (ckpt)
-            ckpt->endWorkload();
-        logTraced(opt, LogLevel::Warn, "workload %s failed: %s",
-                  w.name.c_str(), e.what());
-        step.ws.failed = true;
-    }
-    return step;
-}
-
-/** A checkpointed run is done once every slot ran (or quarantine). */
-bool
-runComplete(const harness::RunResult &run, const Options &opt)
-{
-    return run.quarantined ||
-        run.invocationsAttempted >= opt.invocations;
-}
-
-/**
- * When --trace is given on resume but the checkpoint carried no trace
- * snapshot (the interrupted process ran without --trace), the restored
- * partial run has no open workload span; open one so the span nesting
- * resumeExperiment expects holds. The resulting trace is well formed
- * but starts mid-suite — byte-identity needs identical flags across
- * the interruption, which the config fingerprint cannot enforce for
- * observability sinks.
- */
-void
-ensureWorkloadSpanOpen(const Options &opt,
-                       const workloads::WorkloadSpec &w,
-                       const harness::RunResult &run)
-{
-    if (!opt.trace || opt.trace->openSpans() > 1)
-        return;
-    Json args = Json::object();
-    args.set("tier", vm::tierName(run.tier));
-    args.set("size", run.size);
-    opt.trace->beginSpan(w.name, "workload", std::move(args));
-}
-
-/**
- * Continue the workload a checkpoint left in flight. The partial
- * run(s) come from the checkpoint's in_progress record; invocation
- * seeds are pure functions of (seed, slot, attempt), so extending the
- * restored run reproduces exactly what the uninterrupted run would
- * have measured — estimates, metrics and trace come out
- * byte-identical.
- */
-SuiteStep
-resumeSuiteWorkload(const workloads::WorkloadSpec &w,
-                    const Options &opt,
-                    const harness::FaultInjector *faults,
-                    SuiteCheckpointer *ckpt, const Json &ip)
-{
-    SuiteStep step;
-    step.ws.name = w.name;
-    // Deserialize the checkpointed partial run(s) before entering the
-    // degrade-gracefully region: a record that cannot be restored
-    // (e.g. an unknown tier string in a hand-edited file) means the
-    // checkpoint itself cannot be trusted, so the resume must abort
-    // loudly instead of re-measuring the workload as merely "failed".
-    std::array<std::optional<harness::RunResult>, kSuiteTierCount>
-        restored;
-    for (size_t i = 0; i < kSuiteTierCount; ++i)
-        if (const Json *tj = ip.get(vm::tierName(kSuiteTiers[i])))
-            restored[i] = harness::runFromJson(*tj);
-    if (ckpt)
-        ckpt->beginWorkload(w.name);
-    try {
-        // Deque for pointer stability, as in runSuiteWorkload.
-        std::deque<harness::RunResult> runs;
-        for (size_t i = 0; i < kSuiteTierCount; ++i) {
-            vm::Tier tier = kSuiteTiers[i];
-            if (restored[i]) {
-                runs.push_back(std::move(*restored[i]));
-                auto &run = runs.back();
-                if (!runComplete(run, opt)) {
-                    ensureWorkloadSpanOpen(opt, w, run);
-                    if (ckpt)
-                        ckpt->beginTier(tier);
-                    harness::resumeExperiment(
-                        w,
-                        suiteRunConfig(opt, w.name, tier, faults,
-                                       ckpt),
-                        run);
-                    if (run.interrupted) {
-                        step.interrupted = true;
-                        return step;
-                    }
-                }
-                // A restored-complete run still has its workload span
-                // open in the restored trace (the checkpoint fired at
-                // the final commit boundary, before the span closed);
-                // emit the close the uninterrupted run would have
-                // emitted. Only when the next tier's run had not
-                // started yet, though: once it has, this tier's span
-                // was closed before the checkpoint and the open span
-                // belongs to the next tier's run.
-                bool nextRestored = i + 1 < kSuiteTierCount &&
-                    restored[i + 1].has_value();
-                if (opt.trace && !nextRestored)
-                    opt.trace->endSpansTo(1);
-            } else {
-                if (ckpt)
-                    ckpt->beginTier(tier);
-                runs.push_back(harness::runExperiment(
-                    w,
-                    suiteRunConfig(opt, w.name, tier, faults, ckpt)));
-                if (runs.back().interrupted) {
-                    step.interrupted = true;
-                    return step;
-                }
-            }
-            if (ckpt)
-                ckpt->setTierDone(&runs.back());
-        }
-        if (ckpt)
-            ckpt->endWorkload();
-        finishWorkloadState(step.ws, runs[0], runs[1], runs[2]);
-    } catch (const FatalError &) {
-        // As in runSuiteWorkload: a dead checkpoint write must stop
-        // the suite, not degrade to a "failed" workload.
-        throw;
-    } catch (const std::exception &e) {
-        if (ckpt)
-            ckpt->endWorkload();
-        logTraced(opt, LogLevel::Warn, "workload %s failed: %s",
-                  w.name.c_str(), e.what());
-        step.ws.failed = true;
-    }
-    return step;
-}
-
-int
-cmdSuite(const Options &opt, const harness::FaultInjector *faults)
-{
-    harness::SuiteState state;
-    state.seed = opt.seed;
-    state.invocations = opt.invocations;
-    state.iterations = opt.iterations;
-
-    std::unique_ptr<SuiteCheckpointer> ckpt;
-    Json inProgress;  // null unless a checkpoint left a run in flight
-    bool resuming = false;
-    if (!opt.resumePath.empty()) {
-        ckpt = std::make_unique<SuiteCheckpointer>(opt, state);
-        if (stateFileExists(opt.resumePath)) {
-            StateLoad load = loadStateFile(opt.resumePath);
-            if (load.usedBackup)
-                warn("%s", load.warning.c_str());
-            const Json &payload = load.payload;
-            if (!payload.has("kind") ||
-                payload.at("kind").asString() != "suite")
-                fatal("%s does not hold suite resume state",
-                      opt.resumePath.c_str());
-            Json current = configJson(opt);
-            if (payload.at("config").dump() != current.dump())
-                fatal("%s was recorded with a different "
-                      "configuration; refusing to mix incomparable "
-                      "measurements\n  recorded: %s\n  current:  %s",
-                      opt.resumePath.c_str(),
-                      payload.at("config").dump().c_str(),
-                      current.dump().c_str());
-            state = harness::suiteStateFromJson(payload.at("suite"));
-            if (opt.metrics)
-                if (const Json *m = payload.get("metrics"))
-                    opt.metrics->restoreFromJson(*m);
-            if (opt.trace)
-                if (const Json *t = payload.get("trace"))
-                    opt.trace->restoreCheckpoint(*t);
-            if (const Json *ip = payload.get("in_progress"))
-                inProgress = *ip;
-            resuming = true;
-            // Plain inform(), not logTraced(): the bookkeeping
-            // message must not land in the trace, or a resumed trace
-            // would differ from an uninterrupted one.
-            if (!opt.quiet)
-                inform("resuming from %s: %zu workload(s) already "
-                       "done%s",
-                       opt.resumePath.c_str(), state.workloads.size(),
-                       inProgress.isNull() ? ""
-                                           : ", one in progress");
-        }
-    }
-
-    // A restored trace checkpoint already has the suite span open.
-    if (opt.trace && opt.trace->openSpans() == 0)
-        opt.trace->beginSpan("suite", "harness");
-
-    // Heartbeat bookkeeping: long sweeps print one progress line per
-    // workload so a terminal shows where the suite is and how much
-    // modelled time and how many failures have accumulated.
-    size_t total = workloads::suite().size();
-    size_t done = 0;
-    double modelledMsTotal = 0.0;
-    int failuresTotal = 0;
-    bool interrupted = false;
-    std::vector<harness::RunResult> archiveRuns;
-    for (const auto &w : workloads::suite()) {
-        ++done;
-        if (resuming && state.find(w.name)) {
-            const auto *ws = state.find(w.name);
-            modelledMsTotal += ws->modelledMs;
-            failuresTotal += ws->failureCount;
-            continue;
-        }
-        // Poll between workloads too, so a signal caught outside a
-        // run (e.g. while estimates were computed) stops the suite
-        // before more measurement work starts.
-        if (interruptRequested()) {
-            interrupted = true;
-            break;
-        }
-        SuiteStep step;
-        if (!inProgress.isNull() &&
-            inProgress.at("name").asString() == w.name) {
-            Json ip = std::move(inProgress);
-            inProgress = Json();
-            step = resumeSuiteWorkload(w, opt, faults, ckpt.get(),
-                                       ip);
-        } else {
-            step = runSuiteWorkload(w, opt, faults, ckpt.get());
-        }
-        if (step.interrupted) {
-            // The final checkpoint was already written at the commit
-            // boundary that observed the interrupt (with the partial
-            // run attached); writing another here would capture
-            // post-run state instead.
-            interrupted = true;
-            break;
-        }
-        for (auto &r : step.runs)
-            archiveRuns.push_back(std::move(r));
-        state.workloads.push_back(std::move(step.ws));
-        const auto &ws = state.workloads.back();
-        modelledMsTotal += ws.modelledMs;
-        failuresTotal += ws.failureCount;
-        logTraced(opt, LogLevel::Info,
-                  "suite [%zu/%zu] %s: %s; %.1f ms modelled, "
-                  "%d failure(s) so far",
-                  done, total, w.name.c_str(),
-                  ws.quarantined ? "quarantined"
-                      : ws.failed ? "failed"
-                                  : "ok",
-                  modelledMsTotal, failuresTotal);
-        if (opt.metrics) {
-            opt.metrics->gauge("suite.workloads_done")
-                .set(static_cast<double>(done));
-            opt.metrics->gauge("suite.modelled_ms_total")
-                .set(modelledMsTotal);
-        }
-        if (ckpt)
-            ckpt->writeCompleted();
-    }
-
-    if (opt.trace)
-        opt.trace->endSpansTo(0);
-
-    Table t({"benchmark", "interp ms", "adaptive ms", "threaded ms",
-             "adaptive speedup (95% CI)", "sig",
-             "threaded speedup (95% CI)", "sig"});
-    std::vector<harness::SpeedupResult> speedups;
-    std::vector<harness::SpeedupResult> threadedSpeedups;
-    int degraded = 0;
-    for (const auto &w : workloads::suite()) {
-        const auto *ws = state.find(w.name);
-        if (!ws)
-            continue;
-        if (ws->failed) {
-            t.addRow({ws->name, "-", "-", "-",
-                      ws->quarantined ? "(quarantined)" : "(failed)",
-                      "-", "-", "-"});
-            ++degraded;
-            continue;
-        }
-        speedups.push_back(ws->speedup);
-        threadedSpeedups.push_back(ws->threadedSpeedup);
-        t.addRow({ws->name, fmtDouble(ws->interpMs, 4),
-                  fmtDouble(ws->adaptiveMs, 4),
-                  fmtDouble(ws->threadedMs, 4),
-                  harness::formatCi(ws->speedup.ci, 2),
-                  ws->speedup.significant ? "y" : "n",
-                  harness::formatCi(ws->threadedSpeedup.ci, 2),
-                  ws->threadedSpeedup.significant ? "y" : "n"});
-        if (ws->quarantined || ws->failureCount > 0)
-            ++degraded;
-    }
-    std::printf("%s", t.render().c_str());
-    if (!speedups.empty()) {
-        auto geo = harness::geomeanSpeedup(speedups);
-        std::printf("geomean speedup (adaptive over interp): %s\n",
-                    harness::formatCi(geo, 2).c_str());
-        auto tgeo = harness::geomeanSpeedup(threadedSpeedups);
-        std::printf("geomean speedup (threaded over interp): %s\n",
-                    harness::formatCi(tgeo, 2).c_str());
-    }
-
-    if (degraded > 0) {
-        Table ft({"benchmark", "status", "failures"});
-        for (const auto &ws : state.workloads) {
-            if (!ws.failed && !ws.quarantined &&
-                ws.failureCount == 0)
-                continue;
-            const char *status = ws.quarantined ? "quarantined"
-                : ws.failed                     ? "failed"
-                                                : "degraded";
-            ft.addRow({ws.name, status,
-                       std::to_string(ws.failureCount)});
-        }
-        std::printf("\nfailure summary (%d of %zu workloads "
-                    "affected):\n%s",
-                    degraded, state.workloads.size(),
-                    ft.render().c_str());
-    }
-
-    if (interrupted) {
-        if (!opt.quiet) {
-            if (!opt.resumePath.empty())
-                inform("interrupted; resume with: rigorbench suite "
-                       "--resume %s",
-                       opt.resumePath.c_str());
-            else
-                inform("interrupted; rerun with --resume FILE to "
-                       "make interruptions resumable");
-        }
-        return kExitInterrupted;
-    }
-    // Partial results are a success; only a suite where *nothing*
-    // could be measured exits nonzero.
-    if (speedups.empty())
-        return kExitFailure;
-    if (!opt.archiveDir.empty() && !archiveRuns.empty())
-        archiveAppend(opt, archiveRuns);
-    return kExitSuccess;
-}
-
-compare::CompareConfig
-compareConfig(const Options &opt)
-{
-    compare::CompareConfig cfg;
-    cfg.confidence = opt.confidence;
-    cfg.resamples = opt.resamples;
-    cfg.seed = opt.seed;
-    cfg.baselineTier = opt.baseTier;
-    cfg.candidateTier = opt.candTier;
-    return cfg;
-}
-
-/**
- * Resolve both refs and run the comparison engine. When `baseOut` /
- * `candOut` are given the resolved entries are handed back, so
- * explain can reuse them without a second archive scan.
- */
-compare::CompareReport
-loadAndCompare(const Options &opt, const std::string &baseRef,
-               const std::string &candRef,
-               archive::Entry *baseOut = nullptr,
-               archive::Entry *candOut = nullptr)
-{
-    if (opt.archiveDir.empty())
-        fatal("comparing archive entries requires --archive DIR");
-    archive::RunArchive ar(opt.archiveDir);
-    archive::Entry base = ar.resolve(baseRef);
-    archive::Entry cand = ar.resolve(candRef);
-    auto report =
-        compare::compareEntries(base, cand, compareConfig(opt));
-    report.baselineRef = baseRef;
-    report.candidateRef = candRef;
-    if (baseOut)
-        *baseOut = std::move(base);
-    if (candOut)
-        *candOut = std::move(cand);
-    return report;
-}
-
-/** `compare <base> <cand> --archive DIR`: two archived entries. */
-int
-cmdArchiveCompare(const Options &opt)
-{
-    auto report = loadAndCompare(opt, opt.workload, opt.workload2);
-    std::printf("%s", compare::renderMarkdown(report).c_str());
-    if (!opt.jsonPath.empty()) {
-        atomicWriteFile(opt.jsonPath,
-                        compare::reportToJson(report).dump(2) + "\n");
-        std::printf("wrote %s\n", opt.jsonPath.c_str());
-    }
-    return kExitSuccess;
-}
-
-/** `explain <base> <cand> --archive DIR`: attribute the ratio. */
-int
-cmdExplain(const Options &opt)
-{
-    if (opt.workload2.empty())
-        fatal("explain takes two entry refs, e.g. 'explain HEAD~1 "
-              "HEAD --archive DIR'");
-    archive::Entry base, cand;
-    auto report =
-        loadAndCompare(opt, opt.workload, opt.workload2, &base,
-                       &cand);
-    auto ex = explain::explainEntries(base, cand, report);
-    std::printf("%s", explain::renderMarkdown(ex).c_str());
-    if (!opt.jsonPath.empty()) {
-        atomicWriteFile(opt.jsonPath,
-                        explain::reportToJson(ex).dump(2) + "\n");
-        std::printf("wrote %s\n", opt.jsonPath.c_str());
-    }
-    return kExitSuccess;
-}
-
-/** `gate <base> [<cand>] --archive DIR`: exit 4 on regression. */
-int
-cmdGate(const Options &opt)
-{
-    std::string candRef =
-        opt.workload2.empty() ? "HEAD" : opt.workload2;
-    archive::Entry base, cand;
-    auto report = loadAndCompare(opt, opt.workload, candRef, &base,
-                                 &cand);
-    auto gate = compare::evaluateGate(report, opt.gateThresholdPct);
-    std::printf("%s", compare::renderGate(gate, report).c_str());
-    if (opt.explainGate && !gate.pass) {
-        // Root-cause every failing pair, worst first (the gate's
-        // regression order), straight into the CI log.
-        auto ex = explain::explainEntries(base, cand, report);
-        std::printf("\n");
-        for (const auto &r : gate.regressions) {
-            const explain::PairExplanation *pe =
-                explain::findPair(ex, r.workload, r.tier);
-            if (pe)
-                std::printf("%s\n",
-                            explain::renderPair(*pe).c_str());
-        }
-    }
-    if (!opt.jsonPath.empty()) {
-        Json root = compare::reportToJson(report);
-        Json g = Json::object();
-        g.set("pass", gate.pass);
-        g.set("threshold_pct", gate.thresholdPct);
-        Json regs = Json::array();
-        for (const auto &r : gate.regressions) {
-            Json j = Json::object();
-            j.set("workload", r.workload);
-            j.set("tier", r.tier);
-            j.set("slowdown_pct", r.slowdownPct);
-            regs.push(std::move(j));
-        }
-        g.set("regressions", std::move(regs));
-        root.set("gate", std::move(g));
-        atomicWriteFile(opt.jsonPath, root.dump(2) + "\n");
-        std::printf("wrote %s\n", opt.jsonPath.c_str());
-    }
-    return gate.pass ? kExitSuccess : kExitRegression;
+    doc.set("entries", std::move(entries));
+    doc.set("quarantined_present", scan.quarantinedPresent);
+    return doc;
 }
 
 /** `archive list|prune --archive DIR`: hygiene operations. */
@@ -1480,6 +905,15 @@ cmdArchive(const Options &opt)
     archive::RunArchive ar(opt.archiveDir);
     if (opt.workload == "list") {
         archive::ScanResult scan = ar.scan();
+        // `--json -` replaces the table with the document on stdout
+        // (for pipelines); `--json FILE` writes it alongside.
+        if (opt.jsonPath == "-") {
+            std::printf(
+                "%s\n",
+                archiveListJson(opt.archiveDir, scan).dump(2)
+                    .c_str());
+            return kExitSuccess;
+        }
         Table t({"id", "label", "command", "runs", "profile",
                  "bytes", "fingerprint"});
         for (const auto &e : scan.entries) {
@@ -1506,6 +940,13 @@ cmdArchive(const Options &opt)
                         "(see 'rigorbench fsck')",
                         scan.quarantinedPresent);
         std::printf("\n");
+        if (!opt.jsonPath.empty()) {
+            atomicWriteFile(
+                opt.jsonPath,
+                archiveListJson(opt.archiveDir, scan).dump(2) +
+                    "\n");
+            std::printf("wrote %s\n", opt.jsonPath.c_str());
+        }
         return kExitSuccess;
     }
     if (opt.workload == "prune") {
@@ -1539,6 +980,54 @@ cmdFsck(const Options &opt)
     return report.clean() ? kExitSuccess : kExitCorruption;
 }
 
+int
+cmdServe(const Options &opt)
+{
+    if (opt.socketPath.empty())
+        fatal("serve requires --socket PATH");
+    serve::ServerConfig cfg;
+    cfg.socketPath = opt.socketPath;
+    cfg.stateDir = opt.stateDir.empty() ? opt.socketPath + ".d"
+                                        : opt.stateDir;
+    cfg.maxQueue = opt.maxQueue;
+    cfg.maxActive = opt.maxActive;
+    cfg.resume = opt.serveResume;
+    return serve::runServer(cfg);
+}
+
+int
+cmdSubmit(const Options &opt)
+{
+    serve::JobSpec spec =
+        specFromOptions(opt, opt.workload, opt.workload2);
+    serve::SubmitOptions so;
+    so.priority = opt.priority;
+    so.client = opt.clientName;
+    so.wait = !opt.noWait;
+    return serve::submitJob(opt.socketPath, spec, so);
+}
+
+int
+cmdStatus(const Options &opt)
+{
+    int jobId = -1;
+    if (!opt.workload.empty())
+        jobId = static_cast<int>(
+            parseInt("status", opt.workload.c_str(), 0));
+    return serve::requestStatus(opt.socketPath, jobId);
+}
+
+int
+cmdCancel(const Options &opt)
+{
+    if (opt.workload.empty())
+        fatal("cancel requires a job id");
+    return serve::cancelJob(
+        opt.socketPath,
+        static_cast<int>(
+            parseInt("cancel", opt.workload.c_str(), 0)));
+}
+
 /** Flush --metrics / --trace files after the command finished. */
 void
 writeObservability(const Options &opt)
@@ -1556,27 +1045,41 @@ writeObservability(const Options &opt)
     }
 }
 
+/**
+ * Commands whose measurement/observability sinks the shared execution
+ * engine owns (serve::executeJob creates and flushes them itself, on
+ * whichever process runs the job).
+ */
+bool
+engineOwnsJob(const Options &opt)
+{
+    return opt.command == "run" || opt.command == "suite" ||
+        opt.command == "submit" || opt.command == "serve" ||
+        opt.command == "status" || opt.command == "cancel" ||
+        opt.command == "shutdown";
+}
+
 int
 dispatch(const Options &opt, const harness::FaultInjector *faults)
 {
     if (opt.command == "disasm")
         return cmdDisasm(opt);
-    if (opt.command == "run")
-        return cmdRun(opt, faults);
+    if (opt.command == "run" || opt.command == "suite")
+        return runLocalJob(opt);
     if (opt.command == "compare") {
         // One positional: the legacy interp-vs-adaptive measurement.
         // Two positionals: compare two archived entries.
         if (!opt.workload2.empty())
-            return cmdArchiveCompare(opt);
+            return runQueryCommand(opt, "compare");
         if (!opt.archiveDir.empty())
             fatal("compare with --archive takes two entry refs, "
                   "e.g. 'compare HEAD~1 HEAD --archive DIR'");
         return cmdCompare(opt, faults);
     }
     if (opt.command == "gate")
-        return cmdGate(opt);
+        return runQueryCommand(opt, "gate");
     if (opt.command == "explain")
-        return cmdExplain(opt);
+        return runQueryCommand(opt, "explain");
     if (opt.command == "archive")
         return cmdArchive(opt);
     if (opt.command == "fsck")
@@ -1585,8 +1088,17 @@ dispatch(const Options &opt, const harness::FaultInjector *faults)
         return cmdSequential(opt, faults);
     if (opt.command == "profile")
         return cmdProfile(opt);
-    if (opt.command == "suite")
-        return cmdSuite(opt, faults);
+    if (opt.command == "serve")
+        return cmdServe(opt);
+    if (opt.command == "submit")
+        return cmdSubmit(opt);
+    if (opt.command == "status")
+        return cmdStatus(opt);
+    if (opt.command == "cancel")
+        return cmdCancel(opt);
+    if (opt.command == "shutdown")
+        return serve::shutdownDaemon(opt.socketPath,
+                                     opt.shutdownNow);
     usage();
 }
 
@@ -1621,21 +1133,29 @@ main(int argc, char **argv)
             return cmdList();
         if (opt.command == "env")
             return cmdEnv();
+        if (opt.command == "version")
+            return cmdVersion();
         if (opt.workload.empty() && opt.command != "suite" &&
-            opt.command != "fsck")
+            opt.command != "fsck" && opt.command != "serve" &&
+            opt.command != "status" && opt.command != "shutdown")
             usage();
 
+        // run/suite (local or daemon-side) create their own sinks
+        // inside serve::executeJob; wiring these too would write the
+        // files twice.
         MetricsRegistry metrics;
         TraceEmitter trace;
-        if (!opt.metricsPath.empty())
+        bool ownSinks = !engineOwnsJob(opt);
+        if (ownSinks && !opt.metricsPath.empty())
             opt.metrics = &metrics;
-        if (!opt.tracePath.empty())
+        if (ownSinks && !opt.tracePath.empty())
             opt.trace = &trace;
 
         int rc = dispatch(opt, faults);
         // Partial artifacts are flushed even after an interrupt, so
         // what was measured is never lost.
-        writeObservability(opt);
+        if (ownSinks)
+            writeObservability(opt);
         // stdout itself is an artifact consumers parse; a full disk
         // or closed pipe must be a loud failure, not silence.
         if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
